@@ -1,0 +1,107 @@
+"""Engine micro-benchmarks (not tied to a paper experiment).
+
+Throughput of the engine primitives SBGT leans on, so regressions in
+the substrate are visible independently of the group-testing workloads:
+narrow pipelining, shuffle (with and without map-side combine), tree
+aggregation, caching, and broadcast fan-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Context
+
+N_RECORDS = 50_000
+N_PARTS = 8
+
+
+@pytest.fixture(scope="module")
+def ectx():
+    with Context(mode="serial") as c:
+        yield c
+
+
+def test_engine_narrow_pipeline(benchmark, ectx):
+    rdd = ectx.range(N_RECORDS, num_partitions=N_PARTS)
+
+    def run():
+        return rdd.map(lambda x: x + 1).filter(lambda x: x % 3 == 0).map(
+            lambda x: x * 2
+        ).sum()
+
+    assert benchmark(run) > 0
+
+
+def test_engine_shuffle_combine(benchmark, ectx):
+    pairs = ectx.range(N_RECORDS, num_partitions=N_PARTS).map(lambda x: (x % 100, 1))
+
+    def run():
+        return len(pairs.reduce_by_key(lambda a, b: a + b).collect())
+
+    assert benchmark(run) == 100
+
+
+def test_engine_shuffle_no_combine(benchmark, ectx):
+    pairs = ectx.range(N_RECORDS // 5, num_partitions=N_PARTS).map(
+        lambda x: (x % 100, x)
+    )
+
+    def run():
+        return len(pairs.group_by_key().collect())
+
+    assert benchmark(run) == 100
+
+
+def test_engine_tree_aggregate_numpy_blocks(benchmark, ectx):
+    blocks = ectx.parallelize([np.arange(10_000, dtype=np.float64)] * 32, N_PARTS).cache()
+    blocks.count()
+
+    def run():
+        return blocks.tree_aggregate(
+            0.0, lambda acc, a: acc + float(a.sum()), lambda x, y: x + y
+        )
+
+    assert benchmark(run) > 0
+
+
+def test_engine_cached_rescan(benchmark, ectx):
+    cached = ectx.range(N_RECORDS, num_partitions=N_PARTS).map(lambda x: x * x).cache()
+    cached.count()  # materialize
+
+    def run():
+        return cached.sum()
+
+    assert benchmark(run) > 0
+
+
+def test_engine_broadcast_lookup(benchmark, ectx):
+    table = ectx.broadcast({i: i * 2 for i in range(1000)})
+    rdd = ectx.range(N_RECORDS // 5, num_partitions=N_PARTS)
+
+    def run():
+        return rdd.map(lambda x: table.value[x % 1000]).sum()
+
+    assert benchmark(run) > 0
+
+
+def test_engine_sort(benchmark, ectx):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1_000_000, size=N_RECORDS // 5).tolist()
+    rdd = ectx.parallelize(data, N_PARTS)
+
+    def run():
+        return rdd.sort_by(lambda x: x).first()
+
+    assert benchmark(run) == min(data)
+
+
+def test_engine_join(benchmark, ectx):
+    left = ectx.range(5_000, num_partitions=N_PARTS).map(lambda x: (x % 500, x))
+    right = ectx.range(500, num_partitions=N_PARTS).map(lambda x: (x, -x))
+
+    def run():
+        return left.join(right).count()
+
+    assert benchmark(run) == 5_000

@@ -1,0 +1,93 @@
+"""R1 — lattice-model manipulation (abstract claim: up to 376× vs SOTA).
+
+Times the manipulation operation class — prior construction plus a Bayes
+update sweep — on three implementations of identical math:
+
+* ``pydict``   — per-state pure-Python dict (the prior-framework stand-in);
+* ``numpy``    — single-threaded vectorised kernels;
+* ``sbgt``     — the distributed lattice on the engine.
+
+Compare rows of the pytest-benchmark table at equal ``n`` for the
+speedup; ``benchmarks/run_experiments.py r1`` prints the ready-made
+speedup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SIZES
+from repro.baseline.pydict import PyDictLattice
+from repro.bayes.dilution import DilutionErrorModel
+from repro.bayes.priors import PriorSpec
+from repro.lattice.ops import posterior_update
+from repro.sbgt.distributed_lattice import DistributedLattice
+
+MODEL = DilutionErrorModel(0.98, 0.995, 0.35)
+
+
+def _pool(n: int) -> int:
+    return (1 << (n // 2)) - 1  # pool the lower half of the cohort
+
+
+@pytest.mark.parametrize("n", SIZES["r1_baseline"])
+def test_r1_update_pydict(benchmark, n):
+    risks = [0.02] * n
+    lik = np.exp(MODEL.log_likelihood_by_count(True, n // 2)).tolist()
+    lattice = PyDictLattice.from_risks(risks)
+
+    def op():
+        lattice.bayes_update(_pool(n), lik)
+
+    benchmark(op)
+    benchmark.extra_info["states"] = 1 << n
+    benchmark.extra_info["impl"] = "pydict"
+
+
+@pytest.mark.parametrize("n", SIZES["r1_sbgt"])
+def test_r1_update_numpy(benchmark, n):
+    prior = PriorSpec.uniform(n, 0.02)
+    space = prior.build_dense()
+    log_lik = MODEL.log_likelihood_by_count(True, n // 2)
+
+    def op():
+        posterior_update(space, _pool(n), log_lik)
+
+    benchmark(op)
+    benchmark.extra_info["states"] = 1 << n
+    benchmark.extra_info["impl"] = "numpy-serial"
+
+
+@pytest.mark.parametrize("n", SIZES["r1_sbgt"])
+def test_r1_update_sbgt(benchmark, bench_ctx, n):
+    prior = PriorSpec.uniform(n, 0.02)
+    lattice = DistributedLattice.from_prior(bench_ctx, prior, 8)
+    log_lik = MODEL.log_likelihood_by_count(True, n // 2)
+
+    def op():
+        lattice.update(_pool(n), log_lik)
+
+    benchmark(op)
+    benchmark.extra_info["states"] = 1 << n
+    benchmark.extra_info["impl"] = "sbgt"
+    lattice.unpersist()
+
+
+@pytest.mark.parametrize("n", SIZES["r1_baseline"])
+def test_r1_build_pydict(benchmark, n):
+    risks = [0.02] * n
+    benchmark(PyDictLattice.from_risks, risks)
+    benchmark.extra_info["impl"] = "pydict"
+
+
+@pytest.mark.parametrize("n", SIZES["r1_sbgt"])
+def test_r1_build_sbgt(benchmark, bench_ctx, n):
+    prior = PriorSpec.uniform(n, 0.02)
+
+    def op():
+        lattice = DistributedLattice.from_prior(bench_ctx, prior, 8)
+        lattice.unpersist()
+
+    benchmark(op)
+    benchmark.extra_info["impl"] = "sbgt"

@@ -1,0 +1,75 @@
+"""R3 — statistical analyses (abstract claim: up to 1523× vs SOTA).
+
+Times the analysis operation class — posterior marginals (the
+classification input), entropy, and top-states — on the three
+implementations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES
+from repro.baseline.pydict import PyDictLattice
+from repro.bayes.priors import PriorSpec
+from repro.lattice.ops import entropy, marginals, top_states
+from repro.sbgt.distributed_lattice import DistributedLattice
+
+
+@pytest.mark.parametrize("n", SIZES["r3_baseline"])
+def test_r3_marginals_pydict(benchmark, n):
+    lattice = PyDictLattice.from_risks([0.05] * n)
+    benchmark(lattice.marginals)
+    benchmark.extra_info["impl"] = "pydict"
+
+
+@pytest.mark.parametrize("n", SIZES["r3_sbgt"])
+def test_r3_marginals_numpy(benchmark, n):
+    space = PriorSpec.uniform(n, 0.05).build_dense()
+    benchmark(marginals, space)
+    benchmark.extra_info["impl"] = "numpy-serial"
+
+
+@pytest.mark.parametrize("n", SIZES["r3_sbgt"])
+def test_r3_marginals_sbgt(benchmark, bench_ctx, n):
+    lattice = DistributedLattice.from_prior(bench_ctx, PriorSpec.uniform(n, 0.05), 8)
+    benchmark(lattice.marginals)
+    benchmark.extra_info["impl"] = "sbgt"
+    lattice.unpersist()
+
+
+@pytest.mark.parametrize("n", SIZES["r3_baseline"])
+def test_r3_entropy_pydict(benchmark, n):
+    lattice = PyDictLattice.from_risks([0.05] * n)
+    benchmark(lattice.entropy)
+    benchmark.extra_info["impl"] = "pydict"
+
+
+@pytest.mark.parametrize("n", SIZES["r3_sbgt"])
+def test_r3_entropy_sbgt(benchmark, bench_ctx, n):
+    lattice = DistributedLattice.from_prior(bench_ctx, PriorSpec.uniform(n, 0.05), 8)
+    benchmark(lattice.entropy)
+    benchmark.extra_info["impl"] = "sbgt"
+    lattice.unpersist()
+
+
+@pytest.mark.parametrize("n", SIZES["r3_baseline"])
+def test_r3_top_states_pydict(benchmark, n):
+    lattice = PyDictLattice.from_risks([0.05] * n)
+    benchmark(lattice.top_states, 10)
+    benchmark.extra_info["impl"] = "pydict"
+
+
+@pytest.mark.parametrize("n", SIZES["r3_sbgt"])
+def test_r3_top_states_numpy(benchmark, n):
+    space = PriorSpec.uniform(n, 0.05).build_dense()
+    benchmark(top_states, space, 10)
+    benchmark.extra_info["impl"] = "numpy-serial"
+
+
+@pytest.mark.parametrize("n", SIZES["r3_sbgt"])
+def test_r3_top_states_sbgt(benchmark, bench_ctx, n):
+    lattice = DistributedLattice.from_prior(bench_ctx, PriorSpec.uniform(n, 0.05), 8)
+    benchmark(lattice.top_states, 10)
+    benchmark.extra_info["impl"] = "sbgt"
+    lattice.unpersist()

@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — CI-friendly sizes, a couple of minutes total;
+* ``full``  — the sizes used for the numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import Context
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Lattice sizes (cohort n; lattice = 2^n states) per experiment class.
+SIZES = {
+    "small": {
+        "r1_baseline": [10, 12, 14],
+        "r1_sbgt": [10, 12, 14, 16],
+        "r2_baseline": [10, 12, 14],
+        "r2_sbgt": [10, 12, 14, 16],
+        "r3_baseline": [10, 12, 14],
+        "r3_sbgt": [10, 12, 14, 16],
+        "r4_n": 16,
+        "r4_workers": [1, 2, 4],
+        "r5_prevalences": [0.005, 0.02, 0.05, 0.10, 0.20],
+        "r5_reps": 8,
+        "r5_cohort": 10,
+        "r6_reps": 8,
+        "r6_cohort": 10,
+        "r7_dilutions": [0.0, 0.3, 0.8],
+        "r7_reps": 8,
+        "r8_n": 14,
+    },
+    "full": {
+        "r1_baseline": [12, 14, 16, 18, 20],
+        "r1_sbgt": [12, 14, 16, 18, 20, 22],
+        "r2_baseline": [12, 14, 16, 18, 20],
+        "r2_sbgt": [12, 14, 16, 18, 20, 22],
+        "r3_baseline": [12, 14, 16, 18, 20],
+        "r3_sbgt": [12, 14, 16, 18, 20, 22],
+        "r4_n": 20,
+        "r4_workers": [1, 2, 4, 8],
+        "r5_prevalences": [0.005, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20],
+        "r5_reps": 30,
+        "r5_cohort": 12,
+        "r6_reps": 30,
+        "r6_cohort": 12,
+        "r7_dilutions": [0.0, 0.2, 0.4, 0.8, 1.2],
+        "r7_reps": 20,
+        "r8_n": 18,
+    },
+}[SCALE]
+
+
+@pytest.fixture(scope="module")
+def bench_ctx():
+    """Thread-mode context sized to the machine (the SBGT deployment)."""
+    with Context(mode="threads", parallelism=4) as c:
+        yield c

@@ -1,0 +1,255 @@
+"""Pooled-test response models, with and without dilution effects.
+
+A response model answers two questions about a pool of size ``n``
+containing ``k`` true positives:
+
+* inference — ``log_likelihood_by_count(outcome, n)``: the log-likelihood
+  of an observed outcome for every ``k = 0..n`` at once (the vector the
+  lattice update gathers from);
+* simulation — ``sample(k, n, rng)``: draw an outcome for a simulated
+  pool.
+
+Dilution is the defining difficulty the Biostatistics'22 framework
+models: one positive among 31 negatives is chemically diluted, so pooled
+sensitivity must *decrease* as ``k/n`` falls.  Binary models here attach
+an explicit dilution law to the sensitivity; the continuous model goes
+further and emits a quantitative signal (log viral load), exercising the
+framework's "general test response distributions beyond binary outcomes".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_in_range, check_probability
+
+__all__ = [
+    "ResponseModel",
+    "PerfectTest",
+    "BinaryErrorModel",
+    "DilutionErrorModel",
+    "LogNormalViralLoadModel",
+]
+
+# Log-likelihood floor used in place of -inf for impossible outcomes under
+# deterministic models: keeps arithmetic finite while still crushing the
+# posterior mass of inconsistent states by ~300 nats.
+_LOG_ZERO = -700.0
+
+
+class ResponseModel:
+    """Abstract pooled-test outcome distribution ``f(y | k, n)``."""
+
+    #: True when outcomes are booleans (positive/negative calls).
+    binary: bool = True
+
+    def log_likelihood_by_count(self, outcome: Any, pool_size: int) -> np.ndarray:
+        """Log f(outcome | k, n) for k = 0..pool_size (length n+1)."""
+        raise NotImplementedError
+
+    def sample(self, k_positive: int, pool_size: int, rng: RngLike = None) -> Any:
+        """Draw an outcome for a pool with *k_positive* true positives."""
+        raise NotImplementedError
+
+    def sensitivity(self, k_positive: int, pool_size: int) -> float:
+        """P(positive call | k positives in pool) — binary models only."""
+        raise NotImplementedError
+
+    def _check_pool(self, k_positive: int, pool_size: int) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if not 0 <= k_positive <= pool_size:
+            raise ValueError("k_positive must be in [0, pool_size]")
+
+
+class _BinaryModel(ResponseModel):
+    """Shared machinery for positive/negative-call models."""
+
+    binary = True
+
+    def positive_prob_by_count(self, pool_size: int) -> np.ndarray:
+        """P(positive call | k) for k = 0..pool_size."""
+        return np.array(
+            [self.sensitivity(k, pool_size) if k else self.false_positive_rate for k in range(pool_size + 1)]
+        )
+
+    @property
+    def false_positive_rate(self) -> float:
+        raise NotImplementedError
+
+    def log_likelihood_by_count(self, outcome: Any, pool_size: int) -> np.ndarray:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        p_pos = self.positive_prob_by_count(pool_size)
+        probs = p_pos if bool(outcome) else 1.0 - p_pos
+        out = np.full(pool_size + 1, _LOG_ZERO)
+        nz = probs > 0.0
+        out[nz] = np.log(probs[nz])
+        return out
+
+    def sample(self, k_positive: int, pool_size: int, rng: RngLike = None) -> bool:
+        self._check_pool(k_positive, pool_size)
+        p = self.sensitivity(k_positive, pool_size) if k_positive else self.false_positive_rate
+        return bool(as_rng(rng).random() < p)
+
+
+class PerfectTest(_BinaryModel):
+    """Error-free, dilution-free assay: positive iff the pool has a positive."""
+
+    @property
+    def false_positive_rate(self) -> float:
+        return 0.0
+
+    def sensitivity(self, k_positive: int, pool_size: int) -> float:
+        self._check_pool(k_positive, pool_size)
+        return 1.0 if k_positive > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PerfectTest()"
+
+
+class BinaryErrorModel(_BinaryModel):
+    """Fixed sensitivity/specificity, no dilution.
+
+    The textbook imperfect assay: any number of positives in the pool
+    triggers a positive call with the same probability.
+    """
+
+    def __init__(self, sensitivity: float = 0.99, specificity: float = 0.99) -> None:
+        self._sens = check_probability(sensitivity, "sensitivity")
+        self._spec = check_probability(specificity, "specificity")
+
+    @property
+    def false_positive_rate(self) -> float:
+        return 1.0 - self._spec
+
+    def sensitivity(self, k_positive: int, pool_size: int) -> float:
+        self._check_pool(k_positive, pool_size)
+        return self._sens if k_positive > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryErrorModel(sensitivity={self._sens}, specificity={self._spec})"
+
+
+class DilutionErrorModel(_BinaryModel):
+    """Power-law dilution of sensitivity.
+
+    Effective sensitivity for ``k`` positives in a pool of ``n``::
+
+        sens(k, n) = sensitivity * (k / n) ** dilution_exponent      (k ≥ 1)
+
+    ``dilution_exponent = 0`` recovers :class:`BinaryErrorModel`; larger
+    exponents model assays that lose more signal as positives are diluted
+    (a single positive in a 32-pool at exponent 0.5 keeps ~18% of the
+    undiluted detection probability... the regime where naive pooling
+    breaks and the Bayesian model earns its keep).
+    """
+
+    def __init__(
+        self,
+        sensitivity: float = 0.99,
+        specificity: float = 0.99,
+        dilution_exponent: float = 0.3,
+    ) -> None:
+        self._sens = check_probability(sensitivity, "sensitivity")
+        self._spec = check_probability(specificity, "specificity")
+        self._delta = check_in_range(dilution_exponent, 0.0, 10.0, "dilution_exponent")
+
+    @property
+    def false_positive_rate(self) -> float:
+        return 1.0 - self._spec
+
+    @property
+    def dilution_exponent(self) -> float:
+        return self._delta
+
+    def sensitivity(self, k_positive: int, pool_size: int) -> float:
+        self._check_pool(k_positive, pool_size)
+        if k_positive == 0:
+            return 0.0
+        return self._sens * (k_positive / pool_size) ** self._delta
+
+    def positive_prob_by_count(self, pool_size: int) -> np.ndarray:
+        k = np.arange(pool_size + 1, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            p = self._sens * (k / pool_size) ** self._delta
+        p[0] = self.false_positive_rate
+        return p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DilutionErrorModel(sensitivity={self._sens}, specificity={self._spec}, "
+            f"dilution_exponent={self._delta})"
+        )
+
+
+class LogNormalViralLoadModel(ResponseModel):
+    """Continuous quantitative response (log viral load of the pool).
+
+    A positive individual contributes a fixed mean load; pooling ``k``
+    positives into ``n`` wells dilutes the concentration to ``k/n`` of a
+    single undiluted positive.  The instrument reports
+
+    ``y | k ~ Normal(mu_pos + log(k/n), sigma_pos)``  for ``k ≥ 1``
+    ``y | 0 ~ Normal(mu_neg, sigma_neg)``             (background noise)
+
+    so the likelihood over counts is a Gaussian comb — a genuinely
+    non-binary response distribution whose Bayes updates the lattice
+    handles unchanged.
+    """
+
+    binary = False
+
+    def __init__(
+        self,
+        mu_pos: float = 8.0,
+        sigma_pos: float = 1.0,
+        mu_neg: float = 0.0,
+        sigma_neg: float = 1.0,
+    ) -> None:
+        if sigma_pos <= 0 or sigma_neg <= 0:
+            raise ValueError("sigmas must be positive")
+        self.mu_pos = float(mu_pos)
+        self.sigma_pos = float(sigma_pos)
+        self.mu_neg = float(mu_neg)
+        self.sigma_neg = float(sigma_neg)
+
+    def _means(self, pool_size: int) -> np.ndarray:
+        k = np.arange(1, pool_size + 1, dtype=np.float64)
+        return self.mu_pos + np.log(k / pool_size)
+
+    def log_likelihood_by_count(self, outcome: Any, pool_size: int) -> np.ndarray:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        y = float(outcome)
+        out = np.empty(pool_size + 1, dtype=np.float64)
+        out[0] = (
+            -0.5 * ((y - self.mu_neg) / self.sigma_neg) ** 2
+            - math.log(self.sigma_neg)
+            - 0.5 * math.log(2 * math.pi)
+        )
+        means = self._means(pool_size)
+        out[1:] = (
+            -0.5 * ((y - means) / self.sigma_pos) ** 2
+            - math.log(self.sigma_pos)
+            - 0.5 * math.log(2 * math.pi)
+        )
+        return out
+
+    def sample(self, k_positive: int, pool_size: int, rng: RngLike = None) -> float:
+        self._check_pool(k_positive, pool_size)
+        gen = as_rng(rng)
+        if k_positive == 0:
+            return float(gen.normal(self.mu_neg, self.sigma_neg))
+        mean = self.mu_pos + math.log(k_positive / pool_size)
+        return float(gen.normal(mean, self.sigma_pos))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogNormalViralLoadModel(mu_pos={self.mu_pos}, sigma_pos={self.sigma_pos}, "
+            f"mu_neg={self.mu_neg}, sigma_neg={self.sigma_neg})"
+        )

@@ -1,0 +1,253 @@
+"""The :class:`Posterior`: lattice + response model + sequential updates.
+
+This is the serial reference implementation of the belief state that
+SBGT distributes.  The two implementations share every numerical kernel
+(:mod:`repro.lattice.ops`), so agreement between them is testable to
+floating-point tolerance — the invariant the integration suite leans on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.bayes.dilution import ResponseModel
+from repro.bayes.evidence import EvidenceLog, TestRecord
+from repro.bayes.priors import PriorSpec
+from repro.lattice import ops as lops
+from repro.lattice.prune import PruneResult, prune_by_mass
+from repro.lattice.states import StateSpace
+from repro.util.bits import intersect_count, mask_from_indices, popcount64
+
+__all__ = ["Posterior", "Classification", "ClassificationReport"]
+
+PoolLike = Union[int, Sequence[int]]
+
+
+class Classification(enum.Enum):
+    """Per-individual terminal status of a screen."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Thresholded read-out of the posterior marginals."""
+
+    marginals: np.ndarray
+    statuses: Tuple[Classification, ...]
+
+    @property
+    def n_classified(self) -> int:
+        return sum(1 for s in self.statuses if s is not Classification.UNDETERMINED)
+
+    @property
+    def all_classified(self) -> bool:
+        return self.n_classified == len(self.statuses)
+
+    def positives(self) -> List[int]:
+        return [i for i, s in enumerate(self.statuses) if s is Classification.POSITIVE]
+
+    def negatives(self) -> List[int]:
+        return [i for i, s in enumerate(self.statuses) if s is Classification.NEGATIVE]
+
+    def undetermined(self) -> List[int]:
+        return [i for i, s in enumerate(self.statuses) if s is Classification.UNDETERMINED]
+
+    def undetermined_mask(self) -> int:
+        """Bit mask of still-undetermined individuals (policy 'eligible' set)."""
+        mask = 0
+        for i in self.undetermined():
+            mask |= 1 << i
+        return mask
+
+
+def _as_pool_mask(pool: PoolLike) -> int:
+    if isinstance(pool, (int, np.integer)):
+        mask = int(pool)
+        if mask <= 0:
+            raise ValueError("pool mask must select at least one individual")
+        return mask
+    return int(mask_from_indices(pool))
+
+
+class Posterior:
+    """Sequential Bayesian belief state over a cohort's infection pattern.
+
+    Parameters
+    ----------
+    space:
+        Initial (prior) state space; consumed and mutated in place.
+    model:
+        Response model supplying pooled-test likelihoods.
+    track_entropy:
+        When true, each update records entropy before/after (costs one
+        extra sweep per test; used by information-gain analyses).
+    """
+
+    def __init__(
+        self,
+        space: StateSpace,
+        model: ResponseModel,
+        track_entropy: bool = False,
+    ) -> None:
+        self.space = space
+        self.model = model
+        self.track_entropy = bool(track_entropy)
+        self.log = EvidenceLog()
+        self._stage = 0
+        from repro.bayes.indexmap import CohortIndexMap
+
+        # Contraction bookkeeping (original <-> compact indices); inert
+        # until the first settle().
+        self._index = CohortIndexMap(space.n_items)
+
+    @classmethod
+    def from_prior(
+        cls, prior: PriorSpec, model: ResponseModel, track_entropy: bool = False
+    ) -> "Posterior":
+        return cls(prior.build_dense(), model, track_entropy)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        """Original cohort size (settled individuals still counted)."""
+        return self._index.n_items
+
+    @property
+    def num_live(self) -> int:
+        """Individuals still represented in the lattice."""
+        return self._index.num_live
+
+    @property
+    def num_tests(self) -> int:
+        return self.log.num_tests
+
+    def begin_stage(self) -> int:
+        """Advance the stage counter (tests recorded after run together)."""
+        self._stage += 1
+        return self._stage
+
+    # ------------------------------------------------------------------
+    def settle(self, individual: int, as_positive: bool) -> None:
+        """Commit a diagnosis and project the individual's bit out.
+
+        The lattice-contraction operation (irreversible — the lattice is
+        conditioned on the committed value).  Afterwards the posterior
+        keeps answering in original cohort indices; *pools must not
+        contain settled individuals*.  Note that lattice-reading
+        selection policies (BHA & co.) access ``self.space`` directly in
+        compact coordinates — the distributed session translates for
+        them; serial drivers using contraction must do the same.
+        """
+        project = self._index.num_live > 1
+        pos = self._index.settle(individual, as_positive)  # validates
+        if project:
+            self.space = lops.project_out_bit(self.space, pos, as_positive)
+
+    def update(self, pool: PoolLike, outcome: Any) -> TestRecord:
+        """Condition on one pooled-test outcome.
+
+        Returns the :class:`TestRecord` appended to the evidence log.
+        """
+        pool_mask = _as_pool_mask(pool)
+        pool_size = int(popcount64(np.asarray([pool_mask], dtype=np.uint64))[0])
+        compact_pool = self._index.to_compact_mask(pool_mask)
+        log_lik = self.model.log_likelihood_by_count(outcome, pool_size)
+
+        ent_before = lops.entropy(self.space) if self.track_entropy else None
+        # Predictive log-probability of the outcome before conditioning.
+        counts = intersect_count(self.space.masks, compact_pool)
+        log_pred = float(
+            logsumexp(self.space.log_probs + log_lik[counts])
+            - logsumexp(self.space.log_probs)
+        )
+        lops.posterior_update(self.space, compact_pool, log_lik)
+        ent_after = lops.entropy(self.space) if self.track_entropy else None
+
+        record = TestRecord(
+            stage=self._stage,
+            pool_mask=pool_mask,
+            pool_size=pool_size,
+            outcome=outcome,
+            log_predictive=log_pred,
+            entropy_before=ent_before,
+            entropy_after=ent_after,
+        )
+        self.log.append(record)
+        return record
+
+    def prune(self, epsilon: float) -> PruneResult:
+        """Shrink the support to the ``1 - epsilon`` high-mass core."""
+        result = prune_by_mass(self.space, epsilon)
+        self.space = result.space
+        return result
+
+    # ------------------------------------------------------------------
+    # statistical analyses
+    # ------------------------------------------------------------------
+    def marginals(self) -> np.ndarray:
+        """Per-individual infection probability in *original* indices."""
+        compact = lops.marginals(self.space)
+        if not self._index.any_settled:
+            return compact
+        full = np.empty(self.n_items, dtype=np.float64)
+        for orig, positive in self._index.settled.items():
+            full[orig] = 1.0 if positive else 0.0
+        for pos, orig in enumerate(self._index.live):
+            full[orig] = compact[pos]
+        return full
+
+    def entropy(self) -> float:
+        return lops.entropy(self.space)
+
+    def map_state(self) -> int:
+        compact = lops.map_state(self.space)
+        if not self._index.any_settled:
+            return compact
+        return (
+            self._index.to_original_mask(compact)
+            | self._index.settled_positive_mask()
+        )
+
+    def top_states(self, k: int) -> List[Tuple[int, float]]:
+        return lops.top_states(self.space, k)
+
+    def down_set_mass(self, pool: PoolLike) -> float:
+        return lops.down_set_mass(
+            self.space, self._index.to_compact_mask(_as_pool_mask(pool))
+        )
+
+    def classify(
+        self, positive_threshold: float = 0.99, negative_threshold: float = 0.01
+    ) -> ClassificationReport:
+        """Threshold the marginals into a per-individual report.
+
+        An individual is called positive when their marginal infection
+        probability reaches ``positive_threshold``, negative when it
+        falls to ``negative_threshold``, undetermined otherwise.
+        """
+        if not 0.0 <= negative_threshold < positive_threshold <= 1.0:
+            raise ValueError("need 0 <= negative_threshold < positive_threshold <= 1")
+        marg = self.marginals()
+        statuses = tuple(
+            Classification.POSITIVE
+            if m >= positive_threshold
+            else Classification.NEGATIVE
+            if m <= negative_threshold
+            else Classification.UNDETERMINED
+            for m in marg
+        )
+        return ClassificationReport(marginals=marg, statuses=statuses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Posterior(n_items={self.n_items}, states={self.space.size}, "
+            f"tests={self.num_tests})"
+        )

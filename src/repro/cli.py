@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands covering the workflows a surveillance program actually
+runs:
+
+* ``screen``       — classify one simulated cohort and print the report;
+* ``calculator``   — the pool/don't-pool decision table over prevalences;
+* ``surveillance`` — a multi-day campaign over an SIR epidemic wave;
+* ``scenarios``    — list the named (prior, assay) presets.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+
+from repro.bayes.dilution import (
+    BinaryErrorModel,
+    DilutionErrorModel,
+    PerfectTest,
+    ResponseModel,
+)
+from repro.bayes.priors import PriorSpec
+from repro.engine import Context
+from repro.halving.hybrid import HybridPolicy
+from repro.halving.policy import (
+    ArrayTestingPolicy,
+    BHAPolicy,
+    DorfmanPolicy,
+    IndividualTestingPolicy,
+    InformationGainPolicy,
+    LookaheadPolicy,
+    SelectionPolicy,
+)
+from repro.metrics.reporting import format_table
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.session import SBGTSession
+from repro.simulate.scenario import SCENARIOS, get_scenario
+from repro.workflows.calculator import format_calculator_table, pooling_calculator
+from repro.workflows.surveillance import run_surveillance
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_policy(name: str) -> SelectionPolicy:
+    if name == "bha":
+        return BHAPolicy()
+    if name.startswith("lookahead-"):
+        return LookaheadPolicy(int(name.split("-", 1)[1]))
+    if name == "infogain":
+        return InformationGainPolicy()
+    if name.startswith("dorfman-"):
+        return DorfmanPolicy(int(name.split("-", 1)[1]))
+    if name.startswith("array-"):
+        rows, cols = name.split("-", 1)[1].split("x")
+        return ArrayTestingPolicy(int(rows), int(cols))
+    if name == "hybrid":
+        return HybridPolicy()
+    if name.startswith("hybrid-"):
+        return HybridPolicy(int(name.split("-", 1)[1]))
+    if name == "individual":
+        return IndividualTestingPolicy()
+    raise argparse.ArgumentTypeError(
+        f"unknown policy {name!r} "
+        "(try: bha, lookahead-2, infogain, dorfman-4, array-3x4, hybrid, individual)"
+    )
+
+
+def _make_model(args: argparse.Namespace) -> ResponseModel:
+    if args.assay == "perfect":
+        return PerfectTest()
+    if args.assay == "binary":
+        return BinaryErrorModel(args.sensitivity, args.specificity)
+    return DilutionErrorModel(args.sensitivity, args.specificity, args.dilution)
+
+
+def _add_assay_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--assay", choices=["perfect", "binary", "dilution"], default="dilution")
+    p.add_argument("--sensitivity", type=float, default=0.98)
+    p.add_argument("--specificity", type=float, default=0.995)
+    p.add_argument("--dilution", type=float, default=0.3, help="dilution exponent δ")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SBGT: scaling Bayesian-based group testing (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_screen = sub.add_parser("screen", help="classify one simulated cohort")
+    p_screen.add_argument("--cohort", type=int, default=16, help="cohort size (<= 24)")
+    p_screen.add_argument("--prevalence", type=float, default=0.02)
+    p_screen.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
+                          help="use a named scenario instead of --prevalence/assay")
+    p_screen.add_argument("--policy", type=_make_policy, default="bha")
+    p_screen.add_argument("--seed", type=int, default=0)
+    p_screen.add_argument("--max-stages", type=int, default=60)
+    p_screen.add_argument("--workers", type=int, default=4)
+    p_screen.add_argument("--compact", action="store_true",
+                          help="enable lattice contraction of settled diagnoses")
+    _add_assay_args(p_screen)
+
+    p_calc = sub.add_parser("calculator", help="pool/don't-pool decision table")
+    p_calc.add_argument("--cohort", type=int, default=12)
+    p_calc.add_argument("--prevalences", type=float, nargs="+",
+                        default=[0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30])
+    p_calc.add_argument("--replications", type=int, default=15)
+    p_calc.add_argument("--policy", type=_make_policy, default="bha")
+    p_calc.add_argument("--seed", type=int, default=0)
+    _add_assay_args(p_calc)
+
+    p_surv = sub.add_parser("surveillance", help="multi-day campaign over an epidemic wave")
+    p_surv.add_argument("--days", type=int, default=30)
+    p_surv.add_argument("--cohort", type=int, default=12)
+    p_surv.add_argument("--beta", type=float, default=0.35, help="SIR transmission rate")
+    p_surv.add_argument("--gamma", type=float, default=0.10, help="SIR recovery rate")
+    p_surv.add_argument("--i0", type=float, default=0.005, help="initial prevalence")
+    p_surv.add_argument("--seed", type=int, default=0)
+    _add_assay_args(p_surv)
+
+    sub.add_parser("scenarios", help="list named scenario presets")
+    return parser
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    if args.cohort < 1 or args.cohort > 24:
+        print("error: --cohort must be in [1, 24] (dense lattice)", file=sys.stderr)
+        return 2
+    if args.scenario:
+        prior, model = get_scenario(args.scenario).build(args.cohort, rng=args.seed)
+    else:
+        prior = PriorSpec.uniform(args.cohort, args.prevalence)
+        model = _make_model(args)
+    policy = args.policy if isinstance(args.policy, SelectionPolicy) else _make_policy(args.policy)
+    config = SBGTConfig(max_stages=args.max_stages, compact_classified=args.compact)
+    with Context(mode="threads", parallelism=args.workers) as ctx:
+        session = SBGTSession(ctx, prior, model, config)
+        result = session.run_screen(policy, rng=args.seed)
+        session.close()
+    rows = [
+        ["truly infected", str(result.cohort.positives())],
+        ["called positive", str(result.report.positives())],
+        ["undetermined", str(result.report.undetermined())],
+        ["tests", result.efficiency.num_tests],
+        ["tests/individual", f"{result.tests_per_individual:.3f}"],
+        ["stages", result.stages_used],
+        ["accuracy", f"{result.accuracy:.1%}"],
+        ["sensitivity", f"{result.confusion.sensitivity:.1%}"],
+        ["specificity", f"{result.confusion.specificity:.1%}"],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"Screen ({policy.name})"))
+    return 0
+
+
+def _cmd_calculator(args: argparse.Namespace) -> int:
+    model = _make_model(args)
+    policy_name = args.policy.name if isinstance(args.policy, SelectionPolicy) else args.policy
+
+    def factory() -> SelectionPolicy:
+        return _make_policy(policy_name)
+
+    entries = pooling_calculator(
+        model,
+        factory,
+        prevalences=args.prevalences,
+        cohort_size=args.cohort,
+        replications=args.replications,
+        rng=args.seed,
+    )
+    print(format_calculator_table(entries))
+    return 0
+
+
+def _cmd_surveillance(args: argparse.Namespace) -> int:
+    from repro.simulate.epidemic import sir_prevalence
+
+    model = _make_model(args)
+    prevalence = sir_prevalence(args.days, args.beta, args.gamma, args.i0)
+    campaign = run_surveillance(
+        model, BHAPolicy, days=args.days, cohort_size=args.cohort,
+        rng=args.seed, prevalence=prevalence,
+    )
+    rows = [
+        [d.day, f"{d.prevalence:.1%}", d.result.efficiency.num_tests,
+         f"{d.result.tests_per_individual:.2f}", f"{d.result.accuracy:.0%}"]
+        for d in campaign.days
+    ]
+    print(format_table(
+        ["day", "prevalence", "tests", "tests/ind", "accuracy"], rows,
+        title="Surveillance campaign",
+    ))
+    print(f"\ntotals: {campaign.total_tests} tests / {campaign.total_individuals} "
+          f"individuals = {campaign.overall_tests_per_individual:.2f} tests/individual; "
+          f"{campaign.detected_positives()}/{campaign.true_positives_present()} positives found")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    rows = [[name, s.description] for name, s in sorted(SCENARIOS.items())]
+    print(format_table(["name", "description"], rows, title="Scenario presets"))
+    return 0
+
+
+_COMMANDS = {
+    "screen": _cmd_screen,
+    "calculator": _cmd_calculator,
+    "surveillance": _cmd_surveillance,
+    "scenarios": _cmd_scenarios,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

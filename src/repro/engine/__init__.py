@@ -1,0 +1,44 @@
+"""A from-scratch Spark-like dataflow engine (the paper's substrate).
+
+SBGT is written against Spark's RDD model.  This package reimplements
+that model natively: lazy lineage, narrow/wide dependencies, a DAG
+scheduler cutting stages at shuffles, hash/range partitioned shuffles
+with map-side combining, broadcast variables, accumulators, an LRU
+partition cache, and three executor backends (serial / threads /
+processes).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.engine.accumulator import Accumulator
+from repro.engine.broadcast import Broadcast
+from repro.engine.config import EngineConfig
+from repro.engine.context import Context
+from repro.engine.errors import (
+    ContextStoppedError,
+    EngineError,
+    JobFailedError,
+    SerializationError,
+    ShuffleFetchError,
+    TaskFailedError,
+)
+from repro.engine.hll import HyperLogLog
+from repro.engine.rdd import RDD, StatCounter
+from repro.engine.shuffle import HashPartitioner, Partitioner, RangePartitioner
+
+__all__ = [
+    "Context",
+    "EngineConfig",
+    "RDD",
+    "StatCounter",
+    "HyperLogLog",
+    "Broadcast",
+    "Accumulator",
+    "HashPartitioner",
+    "RangePartitioner",
+    "Partitioner",
+    "EngineError",
+    "JobFailedError",
+    "TaskFailedError",
+    "SerializationError",
+    "ShuffleFetchError",
+    "ContextStoppedError",
+]

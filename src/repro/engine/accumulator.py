@@ -1,0 +1,140 @@
+"""Accumulators: write-only task-side counters merged at the driver.
+
+Tasks call ``acc.add(x)``; the executor collects each task's local deltas
+and the scheduler folds them into the driver-side value exactly once per
+*successful* task (retried failures do not double count), matching Spark's
+guarantee for actions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Dict, Generic, Optional, TypeVar
+
+__all__ = ["Accumulator", "AccumulatorRegistry"]
+
+T = TypeVar("T")
+
+_ids = itertools.count()
+_ids_lock = threading.Lock()
+
+# Task-local staging area: {acc_id: (zero, op, local_value)} for the task
+# currently running on this thread.
+_TASK_LOCAL = threading.local()
+
+
+def _next_id() -> int:
+    with _ids_lock:
+        return next(_ids)
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative driver-side aggregate.
+
+    Parameters
+    ----------
+    zero:
+        Identity element.
+    op:
+        Binary merge ``op(current, delta) -> new``.  Defaults to ``+``.
+    """
+
+    def __init__(self, zero: T, op: Optional[Callable[[T, T], T]] = None, name: str = "") -> None:
+        self.id = _next_id()
+        self.zero = zero
+        self.op = op or (lambda a, b: a + b)
+        self.name = name or f"acc-{self.id}"
+        self._value = zero
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> T:
+        """Driver-side merged value."""
+        with self._lock:
+            return self._value
+
+    def add(self, delta: T) -> None:
+        """Record a task-side contribution (or driver-side if no task)."""
+        staging = getattr(_TASK_LOCAL, "staging", None)
+        if staging is not None:
+            if self.id in staging:
+                zero, op, cur = staging[self.id]
+            else:
+                # Fresh local accumulator: own copy of the zero so ops
+                # that mutate in place cannot corrupt the shared one.
+                import copy
+
+                zero, op, cur = self.zero, self.op, copy.deepcopy(self.zero)
+            staging[self.id] = (zero, op, op(cur, delta))
+        else:
+            with self._lock:
+                self._value = self.op(self._value, delta)
+
+    def _merge(self, delta: T) -> None:
+        with self._lock:
+            self._value = self.op(self._value, delta)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = self.zero
+
+    # Accumulators pickle as stubs carrying (id, zero, op); the op must
+    # travel too — workers fold their *local* deltas with it before the
+    # driver merges.  A `+`-placeholder here would silently turn e.g. a
+    # max-accumulator into a sum on process workers.
+    def __getstate__(self):
+        from repro.engine import closure
+
+        try:
+            op_bytes = closure.serialize(self.op)
+        except Exception:
+            op_bytes = None  # fall back to + on the worker
+        return (self.id, self.zero, self.name, op_bytes)
+
+    def __setstate__(self, state):
+        from repro.engine import closure
+
+        self.id, self.zero, self.name, op_bytes = state
+        if op_bytes is not None:
+            self.op = closure.deserialize(op_bytes)
+        else:  # pragma: no cover - unpicklable op
+            self.op = lambda a, b: a + b
+        self._value = self.zero
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Accumulator({self.name}, value={self._value!r})"
+
+
+class AccumulatorRegistry:
+    """Driver-side registry so the scheduler can merge deltas by id."""
+
+    def __init__(self) -> None:
+        self._accs: Dict[int, Accumulator] = {}
+        self._lock = threading.Lock()
+
+    def register(self, acc: Accumulator) -> None:
+        with self._lock:
+            self._accs[acc.id] = acc
+
+    def merge_deltas(self, deltas: Dict[int, object]) -> None:
+        with self._lock:
+            for acc_id, delta in deltas.items():
+                acc = self._accs.get(acc_id)
+                if acc is not None:
+                    acc._merge(delta)
+
+
+def open_task_staging() -> Dict[int, tuple]:
+    """Install a fresh staging dict for the current task thread."""
+    staging: Dict[int, tuple] = {}
+    _TASK_LOCAL.staging = staging
+    return staging
+
+
+def close_task_staging() -> Dict[int, object]:
+    """Tear down staging and return {acc_id: delta} for shipping."""
+    staging = getattr(_TASK_LOCAL, "staging", None) or {}
+    _TASK_LOCAL.staging = None
+    return {acc_id: val for acc_id, (_z, _op, val) in staging.items()}

@@ -1,0 +1,102 @@
+"""LRU block store backing ``RDD.cache()``.
+
+Cached partitions are lists of records (often single NumPy-block records
+in SBGT, so "list of one array").  Sizes are estimated with
+``sys.getsizeof`` plus ``nbytes`` for NumPy payloads; the store evicts
+least-recently-used whole partitions when over budget, never splitting a
+partition.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BlockStore"]
+
+BlockKey = Tuple[int, int]  # (rdd_id, partition_id)
+
+
+def _estimate_size(records: List[Any]) -> int:
+    total = sys.getsizeof(records)
+    for r in records[:1000]:  # sample cap: huge partitions estimate from prefix
+        if isinstance(r, np.ndarray):
+            total += r.nbytes
+        elif isinstance(r, tuple) and any(isinstance(x, np.ndarray) for x in r):
+            total += sum(x.nbytes if isinstance(x, np.ndarray) else sys.getsizeof(x) for x in r)
+        else:
+            total += sys.getsizeof(r)
+    if len(records) > 1000:
+        total = int(total * len(records) / 1000)
+    return total
+
+
+class BlockStore:
+    """Thread-safe LRU cache of materialized RDD partitions."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._blocks: "OrderedDict[BlockKey, List[Any]]" = OrderedDict()
+        self._sizes: Dict[BlockKey, int] = {}
+        self._used = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: BlockKey) -> Optional[List[Any]]:
+        with self._lock:
+            block = self._blocks.get(key)
+            if block is None:
+                self.misses += 1
+                return None
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            return block
+
+    def put(self, key: BlockKey, records: List[Any]) -> None:
+        size = _estimate_size(records)
+        with self._lock:
+            if key in self._blocks:
+                self._used -= self._sizes[key]
+                del self._blocks[key]
+            # A single partition bigger than the whole budget is stored
+            # anyway (dropping it would livelock callers); it just evicts
+            # everything else.
+            while self._used + size > self.capacity_bytes and self._blocks:
+                old_key, _ = self._blocks.popitem(last=False)
+                self._used -= self._sizes.pop(old_key)
+                self.evictions += 1
+            self._blocks[key] = records
+            self._sizes[key] = size
+            self._used += size
+
+    def drop_rdd(self, rdd_id: int) -> int:
+        """Evict every cached partition of one RDD; returns count dropped."""
+        with self._lock:
+            keys = [k for k in self._blocks if k[0] == rdd_id]
+            for k in keys:
+                self._used -= self._sizes.pop(k)
+                del self._blocks[k]
+            return len(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+            self._sizes.clear()
+            self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)

@@ -1,0 +1,72 @@
+"""Broadcast variables.
+
+A broadcast wraps a read-only value the driver wants every task to see
+(candidate pool tables, dilution likelihood caches, ...).  In thread and
+serial modes tasks share the driver's object directly (zero copy).  In
+process mode the value rides along with the task payload once and is
+memoised per worker process in ``_WORKER_CACHE`` keyed by broadcast id, so
+repeated tasks on the same worker deserialize it only once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Generic, Optional, TypeVar
+
+__all__ = ["Broadcast"]
+
+T = TypeVar("T")
+
+_ids = itertools.count()
+_ids_lock = threading.Lock()
+
+# Worker-process-side cache: bc_id -> value.  Populated by the executor
+# when it unpacks a task payload.  In thread mode it is simply unused.
+_WORKER_CACHE: Dict[int, Any] = {}
+
+
+def _next_id() -> int:
+    with _ids_lock:
+        return next(_ids)
+
+
+class Broadcast(Generic[T]):
+    """Handle to a driver-published read-only value."""
+
+    __slots__ = ("id", "_value", "_destroyed")
+
+    def __init__(self, value: T) -> None:
+        self.id = _next_id()
+        self._value: Optional[T] = value
+        self._destroyed = False
+
+    @property
+    def value(self) -> T:
+        """The broadcast value (worker cache first, then driver copy)."""
+        if self._destroyed:
+            raise ValueError(f"broadcast {self.id} has been destroyed")
+        if self._value is None and self.id in _WORKER_CACHE:
+            self._value = _WORKER_CACHE[self.id]
+        if self._value is None:
+            raise ValueError(f"broadcast {self.id} has no value on this worker")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the driver-side reference (tasks must not use it after)."""
+        self._destroyed = True
+        self._value = None
+        _WORKER_CACHE.pop(self.id, None)
+
+    # -- pickling: ship (id, value); worker side repopulates the cache ----
+    def __getstate__(self):
+        return (self.id, self._value, self._destroyed)
+
+    def __setstate__(self, state):
+        self.id, value, self._destroyed = state
+        if value is not None:
+            _WORKER_CACHE[self.id] = value
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Broadcast(id={self.id})"

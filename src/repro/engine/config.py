@@ -1,0 +1,77 @@
+"""Engine configuration.
+
+The configuration mirrors the knobs the paper's Spark deployment exposes
+(executor count, default parallelism, shuffle partitions) plus the
+execution-mode switch that replaces cluster deployment in this
+reproduction: ``serial`` (debugging / baseline), ``threads`` (default —
+NumPy kernels release the GIL so partition tasks genuinely overlap), and
+``processes`` (fork-based isolation, closest to separate executors).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+
+__all__ = ["EngineConfig", "ExecMode"]
+
+ExecMode = str  # "serial" | "threads" | "processes"
+
+_VALID_MODES = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable engine settings.
+
+    Parameters
+    ----------
+    mode:
+        Execution backend: ``"serial"``, ``"threads"`` or ``"processes"``.
+    parallelism:
+        Number of concurrent task slots (and the default partition count
+        for new RDDs).  ``0`` means "number of CPUs".
+    shuffle_partitions:
+        Default reduce-side partition count for shuffles; ``0`` mirrors
+        ``parallelism``.
+    max_task_retries:
+        How many times a failing task is retried before the job aborts.
+    cache_capacity_bytes:
+        LRU budget of the block store for ``cache()``-ed partitions.
+    task_batch_size:
+        Hint: number of tasks handed to the executor per submission wave.
+    """
+
+    mode: ExecMode = "threads"
+    parallelism: int = 0
+    shuffle_partitions: int = 0
+    max_task_retries: int = 2
+    cache_capacity_bytes: int = 1 << 30
+    task_batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in _VALID_MODES:
+            raise ValueError(f"mode must be one of {_VALID_MODES}, got {self.mode!r}")
+        if self.parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
+        if self.shuffle_partitions < 0:
+            raise ValueError("shuffle_partitions must be >= 0")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive")
+
+    @property
+    def effective_parallelism(self) -> int:
+        if self.parallelism:
+            return self.parallelism
+        return max(1, os.cpu_count() or 1)
+
+    @property
+    def effective_shuffle_partitions(self) -> int:
+        return self.shuffle_partitions or self.effective_parallelism
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

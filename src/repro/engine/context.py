@@ -1,0 +1,194 @@
+"""The engine entry point: :class:`Context` (the ``SparkContext`` analogue).
+
+A context owns the executor pool, shuffle manager, block store, metrics
+registry and accumulator registry.  RDDs are created through it and every
+action funnels through :meth:`run_job`.
+
+>>> from repro.engine import Context
+>>> with Context(mode="serial") as ctx:
+...     ctx.parallelize(range(10), 4).map(lambda x: x * x).sum()
+285
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.engine.accumulator import Accumulator, AccumulatorRegistry
+from repro.engine.blockstore import BlockStore
+from repro.engine.broadcast import Broadcast
+from repro.engine.config import EngineConfig
+from repro.engine.errors import ContextStoppedError
+from repro.engine.executor import BaseExecutor, make_executor
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.rdd import RDD, ParallelCollectionRDD, RangeRDD, UnionRDD
+from repro.engine.scheduler import Scheduler
+from repro.engine.shuffle import ShuffleManager
+
+T = TypeVar("T")
+
+__all__ = ["Context"]
+
+
+class Context:
+    """Driver-side handle to the dataflow engine.
+
+    Parameters
+    ----------
+    mode, parallelism, shuffle_partitions, max_task_retries:
+        Shorthand for the corresponding :class:`EngineConfig` fields.
+    config:
+        A full config object; overrides the shorthand arguments.
+    """
+
+    def __init__(
+        self,
+        mode: str = "threads",
+        parallelism: int = 0,
+        shuffle_partitions: int = 0,
+        max_task_retries: int = 2,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.config = config or EngineConfig(
+            mode=mode,
+            parallelism=parallelism,
+            shuffle_partitions=shuffle_partitions,
+            max_task_retries=max_task_retries,
+        )
+        self.shuffle_manager = ShuffleManager()
+        self.block_store = BlockStore(self.config.cache_capacity_bytes)
+        self.metrics = MetricsRegistry()
+        self.accumulator_registry = AccumulatorRegistry()
+        self._scheduler = Scheduler(self)
+        self._rdd_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._executor: Optional[BaseExecutor] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> BaseExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = make_executor(
+                    self.config.mode,
+                    self.shuffle_manager,
+                    self.block_store,
+                    self.config.max_task_retries,
+                    self.config.effective_parallelism,
+                )
+            return self._executor
+
+    def ensure_running(self) -> None:
+        if self._stopped:
+            raise ContextStoppedError("context has been stopped")
+
+    def stop(self) -> None:
+        """Shut down the executor pool and drop all engine state."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            if self._executor is not None:
+                self._executor.stop()
+                self._executor = None
+        self.shuffle_manager.clear()
+        self.block_store.clear()
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # dataset constructors
+    # ------------------------------------------------------------------
+    @property
+    def default_parallelism(self) -> int:
+        return self.config.effective_parallelism
+
+    def parallelize(self, data: Iterable[T], num_partitions: Optional[int] = None) -> RDD[T]:
+        """Distribute a driver-local collection."""
+        self.ensure_running()
+        n = num_partitions or self.default_parallelism
+        return ParallelCollectionRDD(self, list(data), n)
+
+    def range(
+        self,
+        start: int,
+        stop: Optional[int] = None,
+        step: int = 1,
+        num_partitions: Optional[int] = None,
+    ) -> RDD[int]:
+        """Lazy integer range RDD (never materialized at the driver)."""
+        self.ensure_running()
+        if stop is None:
+            start, stop = 0, start
+        return RangeRDD(self, start, stop, step, num_partitions or self.default_parallelism)
+
+    def union(self, rdds: Sequence[RDD[T]]) -> RDD[T]:
+        self.ensure_running()
+        return UnionRDD(self, rdds)
+
+    # ------------------------------------------------------------------
+    # shared variables
+    # ------------------------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        """Publish a read-only value to every task."""
+        self.ensure_running()
+        return Broadcast(value)
+
+    def accumulator(
+        self, zero: Any, op: Optional[Callable] = None, name: str = ""
+    ) -> Accumulator:
+        """Create and register a driver-merged accumulator."""
+        self.ensure_running()
+        acc = Accumulator(zero, op, name)
+        self.accumulator_registry.register(acc)
+        return acc
+
+    # ------------------------------------------------------------------
+    # job submission
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterable], Any],
+        partitions: Optional[Sequence[int]] = None,
+        description: str = "",
+    ) -> List[Any]:
+        """Run ``func`` over each requested partition; one result per split."""
+        return self._scheduler.run_job(rdd, func, partitions, description)
+
+    # internal: sequential RDD ids for cache keys and metrics
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    # ------------------------------------------------------------------
+    # pickling: tasks close over RDDs which reference the context.  On a
+    # worker only `config` is ever consulted, so ship a stub that keeps
+    # the config and raises if driver-only machinery is touched.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {"config": self.config}
+
+    def __setstate__(self, state):
+        self.config = state["config"]
+        self.shuffle_manager = None  # workers read shuffles via TaskEnv
+        self.block_store = None
+        self.metrics = None
+        self.accumulator_registry = None
+        self._scheduler = None
+        self._rdd_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._executor = None
+        self._stopped = True  # any action attempt on a worker fails fast
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "stopped" if self._stopped else "running"
+        return f"Context(mode={self.config.mode!r}, parallelism={self.default_parallelism}, {state})"

@@ -1,0 +1,165 @@
+"""Lineage dependencies and the stage graph.
+
+Every RDD records how it reads its parents:
+
+* :class:`NarrowDependency` — each output partition reads a bounded set of
+  parent partitions; the chain executes inside one task (pipelined).
+* :class:`ShuffleDependency` — every output partition may read every
+  parent partition; the scheduler cuts the lineage here and runs a
+  shuffle-map stage that buckets records by the target partitioner.
+
+:func:`build_stages` walks a final RDD's lineage and produces the stage
+DAG the scheduler executes bottom-up, reusing already-materialized
+shuffles (the engine's analogue of Spark's skipped stages).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.rdd import RDD
+    from repro.engine.shuffle import Partitioner
+
+__all__ = [
+    "Dependency",
+    "NarrowDependency",
+    "ShuffleDependency",
+    "Aggregator",
+    "Stage",
+    "build_stages",
+]
+
+_stage_ids = itertools.count()
+_stage_lock = threading.Lock()
+
+
+class Aggregator:
+    """Map/reduce-side combining logic for a key-value shuffle.
+
+    ``create(v)`` builds a combiner from the first value of a key,
+    ``merge_value(c, v)`` folds further values in, ``merge_combiners``
+    joins combiners across map outputs.  When ``map_side_combine`` is
+    true the map task pre-combines before bucketing, shrinking shuffle
+    traffic exactly as Spark's ``combineByKey`` does.
+    """
+
+    __slots__ = ("create", "merge_value", "merge_combiners", "map_side_combine")
+
+    def __init__(
+        self,
+        create: Callable,
+        merge_value: Callable,
+        merge_combiners: Callable,
+        map_side_combine: bool = True,
+    ) -> None:
+        self.create = create
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+        self.map_side_combine = map_side_combine
+
+
+class Dependency:
+    """Base edge in the lineage graph."""
+
+    __slots__ = ("rdd",)
+
+    def __init__(self, rdd: "RDD") -> None:
+        self.rdd = rdd
+
+
+class NarrowDependency(Dependency):
+    """One task reads a bounded, statically-known set of parent splits."""
+
+    __slots__ = ()
+
+
+class ShuffleDependency(Dependency):
+    """Stage boundary: repartition parent records by key."""
+
+    __slots__ = ("partitioner", "aggregator", "shuffle_id", "key_func")
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        partitioner: "Partitioner",
+        aggregator: Optional[Aggregator] = None,
+        key_func: Optional[Callable] = None,
+    ) -> None:
+        super().__init__(rdd)
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.key_func = key_func  # None => records are (k, v) pairs already
+        self.shuffle_id = rdd.ctx.shuffle_manager.new_shuffle_id()
+
+
+class Stage:
+    """A pipelined set of tasks ending at ``rdd``.
+
+    ``shuffle_dep`` is set for map stages (their tasks write that
+    shuffle's buckets); result stages have it ``None``.
+    """
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        shuffle_dep: Optional[ShuffleDependency],
+        parents: List["Stage"],
+    ) -> None:
+        with _stage_lock:
+            self.id = next(_stage_ids)
+        self.rdd = rdd
+        self.shuffle_dep = shuffle_dep
+        self.parents = parents
+
+    @property
+    def kind(self) -> str:
+        return "shuffle-map" if self.shuffle_dep is not None else "result"
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdd.num_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stage(id={self.id}, kind={self.kind}, rdd={self.rdd.id})"
+
+
+def _shuffle_parents(rdd: "RDD") -> List[ShuffleDependency]:
+    """Shuffle dependencies reachable from *rdd* crossing only narrow deps."""
+    out: List[ShuffleDependency] = []
+    seen = set()
+    stack = [rdd]
+    while stack:
+        r = stack.pop()
+        if r.id in seen:
+            continue
+        seen.add(r.id)
+        for dep in r.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                out.append(dep)
+            else:
+                stack.append(dep.rdd)
+    return out
+
+
+def build_stages(final_rdd: "RDD") -> Stage:
+    """Build the stage DAG rooted at the result stage for *final_rdd*.
+
+    Shuffles already present in the shuffle manager are still represented
+    (the scheduler checks materialization and skips them) so metrics can
+    report skipped stages.
+    """
+    cache: Dict[int, Stage] = {}  # shuffle_id -> map stage
+
+    def stage_for_shuffle(dep: ShuffleDependency) -> Stage:
+        st = cache.get(dep.shuffle_id)
+        if st is None:
+            parents = [stage_for_shuffle(d) for d in _shuffle_parents(dep.rdd)]
+            st = Stage(dep.rdd, dep, parents)
+            cache[dep.shuffle_id] = st
+        return st
+
+    parents = [stage_for_shuffle(d) for d in _shuffle_parents(final_rdd)]
+    return Stage(final_rdd, None, parents)

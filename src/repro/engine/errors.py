@@ -1,0 +1,50 @@
+"""Exception taxonomy for the dataflow engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "EngineError",
+    "JobFailedError",
+    "TaskFailedError",
+    "SerializationError",
+    "ShuffleFetchError",
+    "ContextStoppedError",
+]
+
+
+class EngineError(RuntimeError):
+    """Base class for all engine failures."""
+
+
+class TaskFailedError(EngineError):
+    """A single task exhausted its retries.
+
+    Carries the stage/partition coordinates and the last underlying
+    exception so job-level handlers can report precisely what died.
+    """
+
+    def __init__(self, stage_id: int, partition: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"task failed: stage={stage_id} partition={partition} "
+            f"after {attempts} attempt(s): {cause!r}"
+        )
+        self.stage_id = stage_id
+        self.partition = partition
+        self.attempts = attempts
+        self.cause = cause
+
+
+class JobFailedError(EngineError):
+    """A job aborted because one of its stages could not complete."""
+
+
+class SerializationError(EngineError):
+    """A closure or record could not be pickled for process execution."""
+
+
+class ShuffleFetchError(EngineError):
+    """A reduce task asked for map output that was never registered."""
+
+
+class ContextStoppedError(EngineError):
+    """An operation was attempted on a stopped :class:`~repro.engine.Context`."""

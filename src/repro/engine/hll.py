@@ -1,0 +1,98 @@
+"""HyperLogLog: approximate distinct counting for RDDs.
+
+``RDD.distinct().count()`` shuffles every record; a HyperLogLog sketch
+answers "roughly how many distinct?" with one narrow pass and a few KB
+of state — the standard trick for cardinality on large keyed data (and
+Spark's ``countApproxDistinct``).  Implementation is the classic
+Flajolet–Furet–Gandouet–Meunier estimator with the small-range
+(linear-counting) and bias corrections.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["HyperLogLog"]
+
+
+def _hash64(value: Any) -> int:
+    """Stable 64-bit hash (independent of PYTHONHASHSEED)."""
+    data = repr(value).encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HyperLogLog:
+    """Mergeable cardinality sketch.
+
+    Parameters
+    ----------
+    precision:
+        ``p`` in [4, 16]: ``2^p`` registers; relative standard error is
+        about ``1.04 / sqrt(2^p)`` (~1.6 % at the default p=12).
+    """
+
+    __slots__ = ("precision", "m", "registers")
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError("precision must be in [4, 16]")
+        self.precision = precision
+        self.m = 1 << precision
+        self.registers = np.zeros(self.m, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def add(self, value: Any) -> "HyperLogLog":
+        h = _hash64(value)
+        idx = h >> (64 - self.precision)
+        rest = h & ((1 << (64 - self.precision)) - 1)
+        # Rank: position of the leftmost 1-bit in the remaining bits.
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        if rank > self.registers[idx]:
+            self.registers[idx] = rank
+        return self
+
+    def add_all(self, values: Iterable[Any]) -> "HyperLogLog":
+        for v in values:
+            self.add(v)
+        return self
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        if other.precision != self.precision:
+            raise ValueError("cannot merge sketches of different precision")
+        np.maximum(self.registers, other.registers, out=self.registers)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def _alpha(self) -> float:
+        if self.m >= 128:
+            return 0.7213 / (1 + 1.079 / self.m)
+        return {16: 0.673, 32: 0.697, 64: 0.709}[self.m]
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct values added."""
+        regs = self.registers.astype(np.float64)
+        estimate = self._alpha * self.m * self.m / np.sum(np.exp2(-regs))
+        if estimate <= 2.5 * self.m:  # small-range: linear counting
+            zeros = int(np.count_nonzero(self.registers == 0))
+            if zeros:
+                return float(self.m * math.log(self.m / zeros))
+        return float(estimate)
+
+    def relative_error(self) -> float:
+        """Expected relative standard error of this sketch."""
+        return 1.04 / math.sqrt(self.m)
+
+
+def count_approx_distinct(rdd, precision: int = 12) -> int:
+    """Approximate distinct count of an RDD in one narrow pass."""
+    merged = rdd.aggregate(
+        HyperLogLog(precision),
+        lambda acc, x: acc.add(x),
+        lambda a, b: a.merge(b),
+    )
+    return int(round(merged.cardinality()))

@@ -1,0 +1,138 @@
+"""Job / stage / task metrics.
+
+The scheduler stamps every task with wall time and record counts and rolls
+them up into :class:`StageMetrics` / :class:`JobMetrics`.  The benchmark
+harness reads these to report scheduling overhead separately from kernel
+time (the distinction the paper's Spark evaluation cares about).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TaskMetrics",
+    "StageMetrics",
+    "JobMetrics",
+    "MetricsRegistry",
+    "simulated_makespan",
+    "simulated_stage_time",
+]
+
+
+def simulated_makespan(task_times_s: List[float], workers: int, per_task_overhead_s: float = 0.0) -> float:
+    """Projected stage wall time on *workers* parallel executors.
+
+    Greedy longest-processing-time (LPT) assignment of the measured task
+    durations to ``workers`` slots; the makespan is the loaded slot's
+    total.  This is how single-node task profiles are projected onto a
+    cluster when physical cores are unavailable (the R4 substitution —
+    see DESIGN.md).  ``per_task_overhead_s`` models per-task dispatch
+    cost (serialization, scheduling RPC).
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    slots = [0.0] * workers
+    for t in sorted(task_times_s, reverse=True):
+        slot = min(range(workers), key=slots.__getitem__)
+        slots[slot] += float(t) + per_task_overhead_s
+    return max(slots) if slots else 0.0
+
+
+def simulated_stage_time(stage: "StageMetrics", workers: int, per_task_overhead_s: float = 0.0) -> float:
+    """Projected wall time of one recorded stage on *workers* executors."""
+    return simulated_makespan([t.wall_s for t in stage.tasks], workers, per_task_overhead_s)
+
+
+@dataclass
+class TaskMetrics:
+    stage_id: int
+    partition: int
+    wall_s: float = 0.0
+    records_out: int = 0
+    attempts: int = 1
+
+
+@dataclass
+class StageMetrics:
+    stage_id: int
+    kind: str  # "shuffle-map" | "result"
+    num_tasks: int = 0
+    wall_s: float = 0.0
+    tasks: List[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def task_time_s(self) -> float:
+        return sum(t.wall_s for t in self.tasks)
+
+    @property
+    def max_task_s(self) -> float:
+        return max((t.wall_s for t in self.tasks), default=0.0)
+
+    @property
+    def skew(self) -> float:
+        """Max/mean task time — 1.0 is perfectly balanced partitions."""
+        if not self.tasks:
+            return 1.0
+        mean = self.task_time_s / len(self.tasks)
+        return self.max_task_s / mean if mean > 0 else 1.0
+
+
+@dataclass
+class JobMetrics:
+    job_id: int
+    description: str = ""
+    wall_s: float = 0.0
+    stages: List[StageMetrics] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    @property
+    def scheduling_overhead_s(self) -> float:
+        """Job wall time not attributable to the critical stage path."""
+        return max(0.0, self.wall_s - sum(s.wall_s for s in self.stages))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "wall_s": self.wall_s,
+            "stages": float(len(self.stages)),
+            "tasks": float(self.num_tasks),
+            "task_time_s": sum(s.task_time_s for s in self.stages),
+            "overhead_s": self.scheduling_overhead_s,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe sink for completed job metrics."""
+
+    def __init__(self, keep_last: int = 256) -> None:
+        self._jobs: List[JobMetrics] = []
+        self._keep = keep_last
+        self._lock = threading.Lock()
+
+    def record(self, job: JobMetrics) -> None:
+        with self._lock:
+            self._jobs.append(job)
+            if len(self._jobs) > self._keep:
+                del self._jobs[: len(self._jobs) - self._keep]
+
+    @property
+    def jobs(self) -> List[JobMetrics]:
+        with self._lock:
+            return list(self._jobs)
+
+    def last(self) -> Optional[JobMetrics]:
+        with self._lock:
+            return self._jobs[-1] if self._jobs else None
+
+    def total_task_time(self) -> float:
+        with self._lock:
+            return sum(s.task_time_s for j in self._jobs for s in j.stages)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._jobs.clear()

@@ -1,0 +1,283 @@
+"""Key-value (shuffle) operations: the wide side of the RDD algebra.
+
+Records of a "pair RDD" are ``(key, value)`` tuples.  Every function here
+either builds a :class:`ShuffledRDD` (one shuffle dependency) or a
+:class:`CoGroupedRDD` (one per input, skipping inputs already partitioned
+the right way — Spark's narrow-cogroup optimization).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.dag import Aggregator, NarrowDependency, ShuffleDependency
+from repro.engine.rdd import RDD, TaskContext
+from repro.engine.shuffle import HashPartitioner, Partitioner, RangePartitioner
+
+__all__ = [
+    "ShuffledRDD",
+    "CoGroupedRDD",
+    "reduce_by_key",
+    "combine_by_key",
+    "aggregate_by_key",
+    "group_by_key",
+    "partition_by",
+    "partition_by_index",
+    "distinct",
+    "sort_by",
+    "join",
+    "cogroup",
+    "subtract",
+    "intersection",
+]
+
+
+class ShuffledRDD(RDD):
+    """Output side of a single shuffle.
+
+    Partition ``p`` merges the ``p``-th bucket of every map task.  With an
+    aggregator the merge combines values per key (map-side combiners when
+    the aggregator allows it); without one it just replays the pairs.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator] = None,
+    ) -> None:
+        dep = ShuffleDependency(parent, partitioner, aggregator)
+        super().__init__(parent.ctx, [dep], partitioner.num_partitions)
+        self.partitioner = partitioner
+        self._dep = dep
+
+    def compute(self, split: int, tc: TaskContext) -> Iterable[Tuple[Any, Any]]:
+        records = tc.env.fetcher.fetch(self._dep.shuffle_id, split)
+        agg = self._dep.aggregator
+        if agg is None:
+            return records
+        merged: dict = {}
+        if agg.map_side_combine:
+            for k, c in records:
+                if k in merged:
+                    merged[k] = agg.merge_combiners(merged[k], c)
+                else:
+                    merged[k] = c
+        else:
+            for k, v in records:
+                if k in merged:
+                    merged[k] = agg.merge_value(merged[k], v)
+                else:
+                    merged[k] = agg.create(v)
+        return merged.items()
+
+
+class CoGroupedRDD(RDD):
+    """Groups values of several pair RDDs by key into parallel lists.
+
+    Record shape: ``(key, (values_from_rdd0, values_from_rdd1, ...))``.
+    Inputs whose partitioner already equals the target are read narrowly.
+    """
+
+    def __init__(self, rdds: Sequence[RDD], partitioner: Partitioner) -> None:
+        if not rdds:
+            raise ValueError("cogroup of no RDDs")
+        deps = []
+        for r in rdds:
+            if r.partitioner is not None and r.partitioner == partitioner:
+                deps.append(NarrowDependency(r))
+            else:
+                deps.append(ShuffleDependency(r, partitioner))
+        super().__init__(rdds[0].ctx, deps, partitioner.num_partitions)
+        self.partitioner = partitioner
+        self._rdds = list(rdds)
+
+    def narrow_parent_splits(self, split: int) -> List[Tuple[RDD, int]]:
+        return [
+            (dep.rdd, split)
+            for dep in self.dependencies
+            if isinstance(dep, NarrowDependency)
+        ]
+
+    def compute(self, split: int, tc: TaskContext) -> Iterable[Tuple[Any, tuple]]:
+        n = len(self._rdds)
+        table: dict = {}
+        for idx, dep in enumerate(self.dependencies):
+            if isinstance(dep, ShuffleDependency):
+                pairs: Iterable = tc.env.fetcher.fetch(dep.shuffle_id, split)
+            else:
+                pairs = dep.rdd.iterator(split, tc)
+            for k, v in pairs:
+                groups = table.get(k)
+                if groups is None:
+                    groups = tuple([] for _ in range(n))
+                    table[k] = groups
+                groups[idx].append(v)
+        return table.items()
+
+
+# ----------------------------------------------------------------------
+# public pair operations
+# ----------------------------------------------------------------------
+def _default_partitioner(rdd: RDD, num_partitions: Optional[int]) -> Partitioner:
+    if num_partitions is not None:
+        return HashPartitioner(num_partitions)
+    if rdd.partitioner is not None:
+        return rdd.partitioner
+    return HashPartitioner(rdd.ctx.config.effective_shuffle_partitions)
+
+
+def combine_by_key(
+    rdd: RDD,
+    create: Callable,
+    merge_value: Callable,
+    merge_combiners: Callable,
+    num_partitions: Optional[int] = None,
+    map_side_combine: bool = True,
+) -> RDD:
+    """The general per-key aggregation every other keyed fold reduces to."""
+    part = _default_partitioner(rdd, num_partitions)
+    agg = Aggregator(create, merge_value, merge_combiners, map_side_combine)
+    return ShuffledRDD(rdd, part, agg)
+
+
+def reduce_by_key(rdd: RDD, op: Callable, num_partitions: Optional[int] = None) -> RDD:
+    return combine_by_key(rdd, lambda v: v, op, op, num_partitions)
+
+
+def aggregate_by_key(
+    rdd: RDD, zero: Any, seq_op: Callable, comb_op: Callable, num_partitions: Optional[int] = None
+) -> RDD:
+    # Deep-copy the zero per key so mutable zeros (lists, arrays) are safe.
+    return combine_by_key(
+        rdd,
+        lambda v: seq_op(copy.deepcopy(zero), v),
+        seq_op,
+        comb_op,
+        num_partitions,
+    )
+
+
+def group_by_key(rdd: RDD, num_partitions: Optional[int] = None) -> RDD:
+    return combine_by_key(
+        rdd,
+        lambda v: [v],
+        lambda acc, v: (acc.append(v), acc)[1],
+        lambda a, b: a + b,
+        num_partitions,
+        # Grouping gains nothing from map-side combine (no data reduction).
+        map_side_combine=False,
+    )
+
+
+def partition_by(rdd: RDD, partitioner: Partitioner) -> RDD:
+    """Repartition pairs by *partitioner*; no-op if already compatible."""
+    if rdd.partitioner is not None and rdd.partitioner == partitioner:
+        return rdd
+    return ShuffledRDD(rdd, partitioner, aggregator=None)
+
+
+def partition_by_index(rdd: RDD, num_partitions: int) -> RDD:
+    """Round-robin rebalance of arbitrary records (``repartition``)."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+
+    def add_keys(i: int, it: Iterable) -> Iterable[Tuple[int, Any]]:
+        return (((i + j) % num_partitions, x) for j, x in enumerate(it))
+
+    keyed = rdd.map_partitions_with_index(add_keys)
+    shuffled = ShuffledRDD(keyed, _IdentityPartitioner(num_partitions))
+    return shuffled.map(lambda kv: kv[1])
+
+
+class _IdentityPartitioner(Partitioner):
+    """Keys *are* partition ids (used by repartition's synthetic keys)."""
+
+    def partition(self, key: int) -> int:
+        return int(key) % self.num_partitions
+
+
+def distinct(rdd: RDD, num_partitions: Optional[int] = None) -> RDD:
+    return reduce_by_key(rdd.map(lambda x: (x, None)), lambda a, _b: a, num_partitions).keys()
+
+
+def sort_by(
+    rdd: RDD,
+    key_func: Callable,
+    ascending: bool = True,
+    num_partitions: Optional[int] = None,
+) -> RDD:
+    """Total sort: sample keys, range-partition, sort per partition."""
+    n_out = num_partitions or rdd.num_partitions
+    keys = rdd.map(key_func).sample(0.2, seed=17).collect()
+    if len(keys) < 4 * n_out:
+        keys = rdd.map(key_func).collect()
+    if not keys:
+        return rdd
+    keys.sort()
+    bounds = [keys[round((i + 1) * (len(keys) - 1) / n_out)] for i in range(n_out - 1)]
+    # Dedupe bounds to avoid empty-range degenerate partitioners.
+    bounds = sorted(set(bounds))
+    part = RangePartitioner(bounds, ascending=ascending)
+    keyed = rdd.map(lambda x: (key_func(x), x))
+    shuffled = ShuffledRDD(keyed, part)
+
+    def sort_part(_i: int, it: Iterable) -> Iterable:
+        rows = sorted(it, key=lambda kv: kv[0], reverse=not ascending)
+        return (v for _k, v in rows)
+
+    return shuffled.map_partitions_with_index(sort_part)
+
+
+def cogroup(rdds: Sequence[RDD], num_partitions: Optional[int] = None) -> RDD:
+    for r in rdds:
+        if num_partitions is None and r.partitioner is not None:
+            return CoGroupedRDD(rdds, r.partitioner)
+    part = HashPartitioner(num_partitions or rdds[0].ctx.config.effective_shuffle_partitions)
+    return CoGroupedRDD(rdds, part)
+
+
+def subtract(left: RDD, right: RDD, num_partitions: Optional[int] = None) -> RDD:
+    """Records of *left* whose value never appears in *right*.
+
+    Collapses duplicates of surviving records to their left-side
+    multiplicity (each surviving left record appears as often as it did
+    in *left*).
+    """
+    l_keyed = left.map(lambda x: (x, True))
+    r_keyed = right.map(lambda x: (x, True))
+    grouped = cogroup([l_keyed, r_keyed], num_partitions)
+    return grouped.flat_map(
+        lambda kv: [kv[0]] * len(kv[1][0]) if not kv[1][1] else []
+    )
+
+
+def intersection(left: RDD, right: RDD, num_partitions: Optional[int] = None) -> RDD:
+    """Distinct records present in both RDDs."""
+    l_keyed = left.map(lambda x: (x, True))
+    r_keyed = right.map(lambda x: (x, True))
+    grouped = cogroup([l_keyed, r_keyed], num_partitions)
+    return grouped.flat_map(lambda kv: [kv[0]] if kv[1][0] and kv[1][1] else [])
+
+
+def join(
+    left: RDD, right: RDD, num_partitions: Optional[int] = None, how: str = "inner"
+) -> RDD:
+    """Relational join of two pair RDDs via cogroup."""
+    if how not in ("inner", "left", "right", "full"):
+        raise ValueError(f"unknown join type {how!r}")
+    grouped = cogroup([left, right], num_partitions)
+
+    def emit(groups: tuple) -> Iterable[tuple]:
+        ls, rs = groups
+        if ls and rs:
+            return itertools.product(ls, rs)
+        if ls and not rs and how in ("left", "full"):
+            return ((l, None) for l in ls)
+        if rs and not ls and how in ("right", "full"):
+            return ((None, r) for r in rs)
+        return ()
+
+    return grouped.flat_map_values(emit)

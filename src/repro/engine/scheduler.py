@@ -1,0 +1,180 @@
+"""The DAG scheduler: stages → tasks → results.
+
+``run_job`` is the single entry point every RDD action funnels through.
+It builds the stage graph for the target RDD, executes missing
+shuffle-map stages bottom-up (skipping shuffles already materialized —
+the payoff of caching lineage), then runs the result stage applying the
+action's partition function, and merges accumulator deltas exactly once
+per successful task.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.dag import Stage, build_stages
+from repro.engine.errors import JobFailedError
+from repro.engine.executor import Task, TaskEnv
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.engine.rdd import RDD, TaskContext
+
+__all__ = ["Scheduler"]
+
+
+def _make_map_body(rdd: RDD, partition: int, stage_id: int, dep) -> Callable[[TaskEnv], list]:
+    """Build the closure a shuffle-map task runs: compute + bucket."""
+
+    def body(env: TaskEnv) -> list:
+        tc = TaskContext(env, stage_id, partition)
+        part = dep.partitioner
+        agg = dep.aggregator
+        buckets: List[list] = [[] for _ in range(part.num_partitions)]
+        records = rdd.iterator(partition, tc)
+        if agg is not None and agg.map_side_combine:
+            combiners: dict = {}
+            for k, v in records:
+                if k in combiners:
+                    combiners[k] = agg.merge_value(combiners[k], v)
+                else:
+                    combiners[k] = agg.create(v)
+            for k, c in combiners.items():
+                buckets[part.partition(k)].append((k, c))
+        else:
+            for k, v in records:
+                buckets[part.partition(k)].append((k, v))
+        return buckets
+
+    return body
+
+
+def _make_result_body(
+    rdd: RDD, partition: int, stage_id: int, func: Callable
+) -> Callable[[TaskEnv], Any]:
+    def body(env: TaskEnv) -> Any:
+        tc = TaskContext(env, stage_id, partition)
+        return func(rdd.iterator(partition, tc))
+
+    return body
+
+
+class Scheduler:
+    """Drives stage-ordered execution for one :class:`Context`."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._job_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable,
+        partitions: Optional[Sequence[int]] = None,
+        description: str = "",
+    ) -> List[Any]:
+        """Execute ``func`` over the given partitions of *rdd*.
+
+        Returns one value per requested partition, in request order.
+        """
+        ctx = self._ctx
+        ctx.ensure_running()
+        job = JobMetrics(job_id=next(self._job_ids), description=description)
+        t_job = time.perf_counter()
+
+        final_stage = build_stages(rdd)
+        for stage in self._topo_order(final_stage):
+            if stage.shuffle_dep is None:
+                continue
+            if ctx.shuffle_manager.is_materialized(stage.shuffle_dep.shuffle_id):
+                continue
+            self._run_map_stage(stage, job)
+
+        if partitions is None:
+            partitions = range(rdd.num_partitions)
+        else:
+            for p in partitions:
+                if not 0 <= p < rdd.num_partitions:
+                    raise JobFailedError(
+                        f"partition {p} out of range for RDD with "
+                        f"{rdd.num_partitions} partitions"
+                    )
+        results = self._run_result_stage(final_stage, func, list(partitions), job)
+
+        job.wall_s = time.perf_counter() - t_job
+        ctx.metrics.record(job)
+        return results
+
+    # ------------------------------------------------------------------
+    def _topo_order(self, final: Stage) -> List[Stage]:
+        """Post-order over the stage DAG (parents before children)."""
+        order: List[Stage] = []
+        seen = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.id in seen:
+                return
+            seen.add(stage.id)
+            for p in stage.parents:
+                visit(p)
+            order.append(stage)
+
+        visit(final)
+        return order
+
+    def _attach_payloads(self, tasks: List[Task], rdd: RDD, parts: List[int]) -> None:
+        """Process mode: copy required shuffle buckets into each task."""
+        if self._ctx.config.mode != "processes":
+            return
+        mgr = self._ctx.shuffle_manager
+        for task, p in zip(tasks, parts):
+            payload: Dict[Tuple[int, int], list] = {}
+            for sid, rid in rdd.shuffle_reads(p):
+                payload[(sid, rid)] = mgr.gather_payload(sid, rid)
+            task.shuffle_payload = payload
+
+    def _run_map_stage(self, stage: Stage, job: JobMetrics) -> None:
+        ctx = self._ctx
+        dep = stage.shuffle_dep
+        assert dep is not None
+        n = stage.rdd.num_partitions
+        ctx.shuffle_manager.expect(dep.shuffle_id, n)
+        parts = list(range(n))
+        tasks = [
+            Task(stage.id, p, _make_map_body(stage.rdd, p, stage.id, dep)) for p in parts
+        ]
+        self._attach_payloads(tasks, stage.rdd, parts)
+        sm = StageMetrics(stage.id, "shuffle-map", num_tasks=n)
+        t0 = time.perf_counter()
+        results = ctx.executor.submit(tasks)
+        for res in results:
+            ctx.shuffle_manager.put(dep.shuffle_id, res.partition, res.value)
+            ctx.accumulator_registry.merge_deltas(res.acc_deltas)
+            sm.tasks.append(
+                TaskMetrics(stage.id, res.partition, res.wall_s, attempts=res.attempts)
+            )
+        sm.wall_s = time.perf_counter() - t0
+        job.stages.append(sm)
+
+    def _run_result_stage(
+        self, stage: Stage, func: Callable, parts: List[int], job: JobMetrics
+    ) -> List[Any]:
+        ctx = self._ctx
+        tasks = [
+            Task(stage.id, p, _make_result_body(stage.rdd, p, stage.id, func)) for p in parts
+        ]
+        self._attach_payloads(tasks, stage.rdd, parts)
+        sm = StageMetrics(stage.id, "result", num_tasks=len(parts))
+        t0 = time.perf_counter()
+        results = ctx.executor.submit(tasks)
+        by_partition = {res.partition: res for res in results}
+        out: List[Any] = []
+        for p in parts:
+            res = by_partition[p]
+            ctx.accumulator_registry.merge_deltas(res.acc_deltas)
+            sm.tasks.append(TaskMetrics(stage.id, p, res.wall_s, attempts=res.attempts))
+            out.append(res.value)
+        sm.wall_s = time.perf_counter() - t0
+        job.stages.append(sm)
+        return out

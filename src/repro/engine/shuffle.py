@@ -1,0 +1,191 @@
+"""Partitioners and the in-memory shuffle subsystem.
+
+A shuffle decouples two stages: map-side tasks bucket their output records
+by ``partitioner(key)`` and register the buckets with the
+:class:`ShuffleManager`; reduce-side tasks fetch every map task's bucket
+for their reduce partition through a :class:`ShuffleFetcher`.
+
+Two fetchers exist because of the execution modes:
+
+* :class:`LocalShuffleFetcher` reads the driver-resident manager directly
+  (serial / thread executors share the driver address space).
+* :class:`PayloadShuffleFetcher` wraps buckets that the scheduler copied
+  into the task payload before shipping it to a worker process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.engine.errors import ShuffleFetchError
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ShuffleManager",
+    "ShuffleFetcher",
+    "LocalShuffleFetcher",
+    "PayloadShuffleFetcher",
+]
+
+
+class Partitioner:
+    """Maps keys to reduce-partition ids in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = int(num_partitions)
+
+    def partition(self, key: Hashable) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """``hash(key) mod p`` — the default for key-value shuffles."""
+
+    def partition(self, key: Hashable) -> int:
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Order-preserving partitioner over sampled split points.
+
+    Used by ``sort_by``: partition ``i`` receives keys in
+    ``(bounds[i-1], bounds[i]]`` so concatenating sorted partitions yields
+    a globally sorted dataset.
+    """
+
+    def __init__(self, bounds: Sequence[Any], ascending: bool = True) -> None:
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        self.ascending = ascending
+
+    def partition(self, key: Any) -> int:
+        import bisect
+
+        idx = bisect.bisect_left(self.bounds, key)
+        if not self.ascending:
+            idx = self.num_partitions - 1 - idx
+        return idx
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.bounds == other.bounds
+            and self.ascending == other.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(self.bounds), self.ascending))
+
+
+Bucket = List[Tuple[Hashable, Any]]
+
+
+class ShuffleManager:
+    """Driver-resident store of map-output buckets.
+
+    Layout: ``blocks[shuffle_id][map_id][reduce_id] -> bucket``.  A shuffle
+    id is "registered" once every map task has reported, which is the
+    scheduler's signal that reduce stages may run.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, Dict[int, List[Bucket]]] = {}
+        self._complete: Dict[int, int] = {}  # shuffle_id -> expected map tasks
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+
+    def new_shuffle_id(self) -> int:
+        with self._lock:
+            return next(self._ids)
+
+    def expect(self, shuffle_id: int, num_map_tasks: int) -> None:
+        with self._lock:
+            self._complete[shuffle_id] = num_map_tasks
+            self._blocks.setdefault(shuffle_id, {})
+
+    def put(self, shuffle_id: int, map_id: int, buckets: List[Bucket]) -> None:
+        with self._lock:
+            self._blocks.setdefault(shuffle_id, {})[map_id] = buckets
+
+    def is_materialized(self, shuffle_id: int) -> bool:
+        with self._lock:
+            expected = self._complete.get(shuffle_id)
+            if expected is None:
+                return False
+            return len(self._blocks.get(shuffle_id, {})) >= expected
+
+    def fetch(self, shuffle_id: int, reduce_id: int) -> Iterator[Tuple[Hashable, Any]]:
+        with self._lock:
+            maps = self._blocks.get(shuffle_id)
+            if maps is None:
+                raise ShuffleFetchError(f"shuffle {shuffle_id} has no map output")
+            buckets = [maps[m][reduce_id] for m in sorted(maps)]
+        return itertools.chain.from_iterable(buckets)
+
+    def gather_payload(self, shuffle_id: int, reduce_id: int) -> Bucket:
+        """Materialize one reduce partition's records for a task payload."""
+        return list(self.fetch(shuffle_id, reduce_id))
+
+    def remove(self, shuffle_id: int) -> None:
+        with self._lock:
+            self._blocks.pop(shuffle_id, None)
+            self._complete.pop(shuffle_id, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+            self._complete.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            n_records = sum(
+                len(bucket)
+                for maps in self._blocks.values()
+                for buckets in maps.values()
+                for bucket in buckets
+            )
+            return {"shuffles": len(self._blocks), "records": n_records}
+
+
+class ShuffleFetcher:
+    """Reduce-side view of map output (mode-dependent implementation)."""
+
+    def fetch(self, shuffle_id: int, reduce_id: int) -> Iterable[Tuple[Hashable, Any]]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class LocalShuffleFetcher(ShuffleFetcher):
+    """Reads buckets straight out of the shared driver manager."""
+
+    def __init__(self, manager: ShuffleManager) -> None:
+        self._manager = manager
+
+    def fetch(self, shuffle_id: int, reduce_id: int) -> Iterable[Tuple[Hashable, Any]]:
+        return self._manager.fetch(shuffle_id, reduce_id)
+
+
+class PayloadShuffleFetcher(ShuffleFetcher):
+    """Reads buckets copied into the task payload (process mode)."""
+
+    def __init__(self, payload: Dict[Tuple[int, int], Bucket]) -> None:
+        self._payload = payload
+
+    def fetch(self, shuffle_id: int, reduce_id: int) -> Iterable[Tuple[Hashable, Any]]:
+        try:
+            return self._payload[(shuffle_id, reduce_id)]
+        except KeyError:
+            raise ShuffleFetchError(
+                f"payload missing shuffle={shuffle_id} reduce={reduce_id}"
+            ) from None

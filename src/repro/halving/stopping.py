@@ -1,0 +1,79 @@
+"""Decision-theoretic stopping: when is another stage worth running?
+
+Threshold stopping (classify at 0.99/0.01) treats every residual doubt
+alike.  A testing program actually faces *costs*: a missed infection
+(false negative), a needless isolation (false positive), and the price
+of one more assay.  The Bayes-optimal terminal action for individual
+``i`` with marginal ``m_i`` is whichever call has lower expected loss —
+``min(m_i · c_fn, (1 − m_i) · c_fp)`` — so the cohort's expected
+terminal loss is the sum of those minima.  Testing is worth continuing
+while that residual risk exceeds the cost of the tests a stage would
+consume.
+
+This is the lightweight per-stage version of the framework's loss-based
+sequential analysis; it plugs into ``run_screen`` /
+``SBGTSession.run_screen`` as ``stopping_rule``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LossBasedStopping", "terminal_loss"]
+
+
+def terminal_loss(
+    marginals: Sequence[float], fp_cost: float, fn_cost: float
+) -> Tuple[float, List[bool]]:
+    """Expected loss of classifying *now*, plus the optimal calls.
+
+    Returns ``(expected_loss, calls)`` where ``calls[i]`` is True for a
+    positive call (chosen when ``m_i · c_fn > (1 − m_i) · c_fp``).
+    """
+    m = np.asarray(marginals, dtype=np.float64)
+    if np.any(m < -1e-12) or np.any(m > 1 + 1e-12):
+        raise ValueError("marginals must be probabilities")
+    loss_if_neg = m * fn_cost  # calling negative risks a false negative
+    loss_if_pos = (1.0 - m) * fp_cost
+    calls = loss_if_pos < loss_if_neg
+    return float(np.minimum(loss_if_neg, loss_if_pos).sum()), calls.tolist()
+
+
+@dataclass(frozen=True)
+class LossBasedStopping:
+    """Stop when residual risk no longer justifies another test.
+
+    Parameters
+    ----------
+    fp_cost, fn_cost:
+        Loss of a false positive / false negative call, in the same
+        units as ``test_cost``.  Surveillance programs typically set
+        ``fn_cost ≫ fp_cost``.
+    test_cost:
+        Cost of one assay.
+    """
+
+    fp_cost: float = 1.0
+    fn_cost: float = 10.0
+    test_cost: float = 0.1
+
+    def __post_init__(self) -> None:
+        if min(self.fp_cost, self.fn_cost, self.test_cost) <= 0:
+            raise ValueError("all costs must be positive")
+
+    def should_stop(self, marginals: Sequence[float]) -> bool:
+        """True when classifying now beats paying for one more test."""
+        loss, _ = terminal_loss(marginals, self.fp_cost, self.fn_cost)
+        return loss <= self.test_cost
+
+    def decision_threshold(self) -> float:
+        """The marginal above which a positive call is loss-optimal."""
+        return self.fp_cost / (self.fp_cost + self.fn_cost)
+
+    def classify_now(self, marginals: Sequence[float]) -> List[bool]:
+        """Loss-optimal terminal calls (True = positive)."""
+        _, calls = terminal_loss(marginals, self.fp_cost, self.fn_cost)
+        return calls

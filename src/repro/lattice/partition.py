@@ -1,0 +1,208 @@
+"""Blocked lattice representation — the unit SBGT distributes.
+
+A :class:`LatticeBlock` is a contiguous chunk of (masks, log_probs).
+SBGT's RDDs carry one block per record so partition tasks run whole-block
+NumPy kernels; the same blocks also back the serial NumPy baseline, which
+keeps the distributed and serial code paths numerically identical.
+
+Block kernels return *partial* statistics (unnormalised log masses,
+weighted marginal sums) that compose associatively, which is what lets
+SBGT compute them with ``tree_aggregate`` instead of collecting states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.lattice.states import StateSpace
+from repro.util.bits import bit_column, intersect_count
+
+__all__ = [
+    "LatticeBlock",
+    "partition_state_space",
+    "merge_blocks",
+    "block_log_mass",
+    "block_update",
+    "block_scale",
+    "block_marginal_partial",
+    "block_down_set_partial",
+    "block_count_distribution_partial",
+    "block_entropy_partial",
+    "block_histogram_partial",
+    "block_top_states",
+    "block_filter_consistent",
+]
+
+DEFAULT_BLOCK_SIZE = 1 << 16
+
+
+@dataclass
+class LatticeBlock:
+    """One chunk of a partitioned state space."""
+
+    n_items: int
+    masks: np.ndarray  # uint64
+    log_probs: np.ndarray  # float64, unnormalised
+
+    def __post_init__(self) -> None:
+        self.masks = np.ascontiguousarray(self.masks, dtype=np.uint64)
+        self.log_probs = np.ascontiguousarray(self.log_probs, dtype=np.float64)
+        if self.masks.shape != self.log_probs.shape:
+            raise ValueError("masks and log_probs must have equal shape")
+
+    @property
+    def size(self) -> int:
+        return int(self.masks.size)
+
+    def copy(self) -> "LatticeBlock":
+        return LatticeBlock(self.n_items, self.masks.copy(), self.log_probs.copy())
+
+
+def partition_state_space(
+    space: StateSpace, block_size: int = DEFAULT_BLOCK_SIZE
+) -> List[LatticeBlock]:
+    """Split a state space into contiguous blocks of ≤ *block_size* states."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    blocks = []
+    for lo in range(0, space.size, block_size):
+        hi = min(lo + block_size, space.size)
+        blocks.append(
+            LatticeBlock(space.n_items, space.masks[lo:hi].copy(), space.log_probs[lo:hi].copy())
+        )
+    return blocks
+
+
+def merge_blocks(blocks: Sequence[LatticeBlock]) -> StateSpace:
+    """Reassemble blocks into a single (unnormalised) state space."""
+    if not blocks:
+        raise ValueError("cannot merge zero blocks")
+    n_items = blocks[0].n_items
+    if any(b.n_items != n_items for b in blocks):
+        raise ValueError("blocks disagree on n_items")
+    masks = np.concatenate([b.masks for b in blocks])
+    log_probs = np.concatenate([b.log_probs for b in blocks])
+    return StateSpace(n_items, masks, log_probs)
+
+
+# ----------------------------------------------------------------------
+# associative block kernels (partial statistics)
+# ----------------------------------------------------------------------
+def block_log_mass(block: LatticeBlock) -> float:
+    """log Σ exp(log_probs) of the block (−inf for an empty block)."""
+    if block.size == 0:
+        return -np.inf
+    return float(logsumexp(block.log_probs))
+
+
+def block_update(block: LatticeBlock, pool_mask: int, log_lik_by_count: np.ndarray) -> LatticeBlock:
+    """Bayes-update one block in place (no normalisation — that is global)."""
+    ll = np.asarray(log_lik_by_count, dtype=np.float64)
+    counts = intersect_count(block.masks, pool_mask)
+    block.log_probs += ll[counts]
+    return block
+
+
+def block_scale(block: LatticeBlock, log_shift: float) -> LatticeBlock:
+    """Subtract a global log-mass (the distributed normalisation step)."""
+    block.log_probs -= log_shift
+    return block
+
+
+def block_marginal_partial(block: LatticeBlock) -> np.ndarray:
+    """Unnormalised per-individual positive mass within the block."""
+    p = np.exp(block.log_probs)
+    out = np.empty(block.n_items, dtype=np.float64)
+    for i in range(block.n_items):
+        out[i] = p[bit_column(block.masks, i)].sum()
+    return out
+
+
+def block_down_set_partial(block: LatticeBlock, pool_masks: np.ndarray) -> np.ndarray:
+    """Unnormalised down-set mass of each candidate pool within the block.
+
+    The inner loop of distributed test selection.  Iterates candidates
+    and masks/sums per row rather than building the full
+    (candidates × states) boolean and contracting it — the contraction
+    forces a float64 materialisation of the whole matrix, measured ~6×
+    slower at 2^20 states.
+    """
+    p = np.exp(block.log_probs)
+    pools = np.asarray(pool_masks, dtype=np.uint64)
+    out = np.empty(pools.size, dtype=np.float64)
+    zero = np.uint64(0)
+    for c, pool in enumerate(pools):
+        out[c] = p[(block.masks & pool) == zero].sum()
+    return out
+
+
+def block_count_distribution_partial(block: LatticeBlock, pool_mask: int, pool_size: int) -> np.ndarray:
+    """Unnormalised P(k positives in pool) histogram for the block."""
+    counts = intersect_count(block.masks, pool_mask)
+    p = np.exp(block.log_probs)
+    return np.bincount(counts, weights=p, minlength=pool_size + 1)
+
+
+def block_entropy_partial(block: LatticeBlock) -> float:
+    """−Σ p log p over the block (valid when blocks are globally normalised)."""
+    if block.size == 0:
+        return 0.0
+    p = np.exp(block.log_probs)
+    nz = p > 0.0
+    return float(-np.sum(p[nz] * block.log_probs[nz]))
+
+
+def block_histogram_partial(
+    block: LatticeBlock, edges: np.ndarray
+) -> np.ndarray:
+    """Linear-mass histogram of the block's log-probs over fixed bin edges.
+
+    Used by distributed pruning to locate a log-prob cutoff without
+    sorting the global state set.  Values outside the edges clamp into
+    the end bins.
+    """
+    if block.size == 0:
+        return np.zeros(len(edges) - 1, dtype=np.float64)
+    idx = np.clip(np.searchsorted(edges, block.log_probs, side="right") - 1, 0, len(edges) - 2)
+    return np.bincount(idx, weights=np.exp(block.log_probs), minlength=len(edges) - 1)
+
+
+def block_top_states(block: LatticeBlock, k: int) -> List[Tuple[int, float]]:
+    """Block-local top-k states by unnormalised log-probability."""
+    if k <= 0 or block.size == 0:
+        return []
+    k = min(k, block.size)
+    idx = np.argpartition(-block.log_probs, k - 1)[:k]
+    idx = idx[np.argsort(-block.log_probs[idx], kind="stable")]
+    return [(int(block.masks[i]), float(block.log_probs[i])) for i in idx]
+
+
+def block_filter_consistent(
+    block: LatticeBlock, positive_mask: int = 0, negative_mask: int = 0
+) -> LatticeBlock:
+    """Keep only states consistent with settled classifications."""
+    pos = np.uint64(positive_mask)
+    neg = np.uint64(negative_mask)
+    keep = ((block.masks & pos) == pos) & ((block.masks & neg) == np.uint64(0))
+    return LatticeBlock(block.n_items, block.masks[keep], block.log_probs[keep])
+
+
+def block_project_out_bit(block: LatticeBlock, bit: int, keep_positive: bool) -> LatticeBlock:
+    """Condition on a settled individual and squeeze their bit out.
+
+    Block-local half of :func:`repro.lattice.ops.project_out_bit`;
+    renormalisation stays global (the usual two-pass).  May return an
+    empty block.
+    """
+    bit_u = np.uint64(bit)
+    one = np.uint64(1)
+    has_bit = (block.masks >> bit_u) & one == one
+    keep = has_bit if keep_positive else ~has_bit
+    masks = block.masks[keep]
+    low = masks & ((one << bit_u) - one)
+    high = (masks >> (bit_u + one)) << bit_u
+    return LatticeBlock(block.n_items - 1, low | high, block.log_probs[keep])

@@ -1,0 +1,38 @@
+"""SBGT: the paper's contribution — Bayesian group testing on a dataflow engine.
+
+The lattice state space becomes an RDD of NumPy blocks; the three
+operation classes the paper accelerates map onto engine primitives:
+
+* lattice manipulation — distributed prior construction, Bayes updates
+  with two-pass normalisation, conditioning, histogram-guided pruning
+  (:class:`DistributedLattice`);
+* test selection — broadcast candidate pools, per-partition down-set
+  partials, tree-reduced arg-min (:mod:`repro.sbgt.selector`);
+* statistical analysis — marginals, entropy, top states and
+  classification reports as tree aggregations (:class:`DistributedAnalyzer`).
+
+:class:`SBGTSession` drives a full sequential screen with the same
+protocol and result type as the serial reference driver.
+"""
+
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.sbgt.selector import (
+    down_set_masses_distributed,
+    select_halving_pool_distributed,
+    select_infogain_pool_distributed,
+    select_lookahead_pools_distributed,
+)
+from repro.sbgt.analyzer import DistributedAnalyzer
+from repro.sbgt.session import SBGTSession
+
+__all__ = [
+    "SBGTConfig",
+    "DistributedLattice",
+    "DistributedAnalyzer",
+    "SBGTSession",
+    "down_set_masses_distributed",
+    "select_halving_pool_distributed",
+    "select_infogain_pool_distributed",
+    "select_lookahead_pools_distributed",
+]

@@ -1,0 +1,77 @@
+"""SBGT tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional  # noqa: F401 - used in field annotation
+
+__all__ = ["SBGTConfig"]
+
+
+@dataclass(frozen=True)
+class SBGTConfig:
+    """Settings of a distributed group-testing session.
+
+    Parameters
+    ----------
+    num_blocks:
+        How many lattice blocks (RDD records ≈ parallel tasks) the state
+        space is split into.  ``0`` = the context's default parallelism.
+    prune_epsilon:
+        After-stage pruning keeps the ``1-ε`` high-mass core; ``0``
+        disables pruning (exact inference).
+    prune_interval:
+        Prune every this-many stages (when pruning is enabled).
+    rebalance_states:
+        When pruning shrinks the lattice below this many states, the
+        session collects and redistributes it so tasks stay balanced.
+    positive_threshold / negative_threshold:
+        Classification cut-offs on the posterior marginals.
+    max_stages:
+        Stage budget for a screen.
+    track_entropy:
+        Record entropy before/after each test (extra aggregation pass).
+    compact_classified:
+        Lattice contraction: when an individual's diagnosis settles,
+        condition on it and project their bit out of every state,
+        halving the representable index space.  Commits the diagnosis —
+        a later reversal is impossible — which is the standard
+        sequential-classification semantics, but means threshold errors
+        freeze; keep thresholds strict when enabling.
+    max_positives:
+        When set, build the rank-restricted lattice (states with at most
+        this many infected) instead of the dense ``2^n`` one.  Makes
+        cohorts far beyond dense reach tractable (support size
+        ``Σ C(n, k)``); the discarded prior tail is exposed as
+        ``SBGTSession.log_discarded_prior``.  A cohort whose true
+        positive count exceeds the cap cannot be represented — size the
+        cap from the prior (e.g. mean + several binomial sd).
+    """
+
+    num_blocks: int = 0
+    prune_epsilon: float = 0.0
+    prune_interval: int = 1
+    rebalance_states: int = 1 << 14
+    positive_threshold: float = 0.99
+    negative_threshold: float = 0.01
+    max_stages: int = 50
+    track_entropy: bool = False
+    compact_classified: bool = False
+    max_positives: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 0:
+            raise ValueError("num_blocks must be >= 0")
+        if not 0.0 <= self.prune_epsilon < 1.0:
+            raise ValueError("prune_epsilon must be in [0, 1)")
+        if self.prune_interval < 1:
+            raise ValueError("prune_interval must be >= 1")
+        if not 0.0 <= self.negative_threshold < self.positive_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= neg < pos <= 1")
+        if self.max_stages < 1:
+            raise ValueError("max_stages must be >= 1")
+        if self.max_positives is not None and self.max_positives < 1:
+            raise ValueError("max_positives must be >= 1 when set")
+
+    def with_(self, **kwargs) -> "SBGTConfig":
+        return replace(self, **kwargs)

@@ -1,0 +1,394 @@
+"""The distributed lattice: an RDD of :class:`LatticeBlock` records.
+
+Invariants maintained by every public method:
+
+* blocks are **globally normalised** (their log-probs jointly sum, in
+  linear space, to one) — block kernels can therefore exponentiate
+  safely and partial statistics add up to calibrated quantities;
+* the RDD is **cached and already materialised** — callers never pay a
+  rebuild of lineage twice;
+* blocks are **immutable once cached** — update paths copy before
+  mutating, exactly Spark's contract.
+
+Updates cost two passes (apply likelihood, then rescale by the global
+log-mass found by a tree aggregation).  The intermediate mass *is* the
+predictive probability of the outcome, so evidence tracking is free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bayes.priors import PriorSpec
+from repro.engine.context import Context
+from repro.engine.rdd import RDD
+from repro.lattice.builder import enumerate_restricted_masks, product_prior_log
+from repro.lattice.partition import (
+    LatticeBlock,
+    block_count_distribution_partial,
+    block_down_set_partial,
+    block_entropy_partial,
+    block_filter_consistent,
+    block_histogram_partial,
+    block_log_mass,
+    block_marginal_partial,
+    block_project_out_bit,
+    block_scale,
+    block_top_states,
+    block_update,
+    merge_blocks,
+    partition_state_space,
+)
+from repro.lattice.states import StateSpace
+from repro.util.bits import popcount64
+
+__all__ = ["DistributedLattice", "PruneStats"]
+
+
+def _log_add(a: float, b: float) -> float:
+    return float(np.logaddexp(a, b))
+
+
+class PruneStats:
+    """Summary of one distributed pruning pass."""
+
+    def __init__(self, kept_states: int, dropped_states: int, dropped_mass: float):
+        self.kept_states = int(kept_states)
+        self.dropped_states = int(dropped_states)
+        self.dropped_mass = float(dropped_mass)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PruneStats(kept={self.kept_states}, dropped={self.dropped_states}, "
+            f"mass={self.dropped_mass:.3g})"
+        )
+
+
+class DistributedLattice:
+    """A normalised lattice model partitioned across the engine."""
+
+    #: Updates between automatic lineage checkpoints.  Each Bayes update
+    #: appends two map nodes to the lineage; without truncation a long
+    #: screen would recompute ever-deeper chains on cache misses (and in
+    #: process mode, where workers cannot reach the driver cache, every
+    #: job).  Checkpointing collects and re-parallelizes the blocks —
+    #: the engine analogue of ``RDD.checkpoint()``.
+    checkpoint_interval: int = 16
+
+    def __init__(self, ctx: Context, rdd: RDD, n_items: int) -> None:
+        self.ctx = ctx
+        self.rdd = rdd
+        self.n_items = int(n_items)
+        self._updates_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # construction (operation class R1: lattice manipulation)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_prior(
+        cls, ctx: Context, prior: PriorSpec, num_blocks: int = 0
+    ) -> "DistributedLattice":
+        """Build the dense product-prior lattice *in parallel*.
+
+        Each task materialises one contiguous mask range and evaluates
+        the prior on it; the driver never holds the full lattice.
+        """
+        n = prior.n_items
+        if n > 30:
+            raise ValueError("dense lattice limited to 30 individuals; use from_restricted_prior")
+        size = 1 << n
+        nb = num_blocks or ctx.default_parallelism
+        nb = max(1, min(nb, size))
+        bounds = [round(i * size / nb) for i in range(nb + 1)]
+        ranges = [(bounds[i], bounds[i + 1]) for i in range(nb) if bounds[i] < bounds[i + 1]]
+        risks_bc = ctx.broadcast(prior.risks)
+
+        def build(rng_pair: Tuple[int, int]) -> LatticeBlock:
+            lo, hi = rng_pair
+            masks = np.arange(lo, hi, dtype=np.uint64)
+            log_probs = product_prior_log(masks, risks_bc.value)
+            return LatticeBlock(n, masks, log_probs)
+
+        rdd = ctx.parallelize(ranges, len(ranges)).map(build).cache()
+        lattice = cls(ctx, rdd, n)
+        # The dense product prior is normalised analytically; one rescale
+        # pass absorbs float drift and materialises the cache.
+        lattice._renormalize()
+        return lattice
+
+    @classmethod
+    def from_restricted_prior(
+        cls,
+        ctx: Context,
+        prior: PriorSpec,
+        max_positives: int,
+        num_blocks: int = 0,
+    ) -> Tuple["DistributedLattice", float]:
+        """Rank-restricted lattice (cohorts beyond dense reach).
+
+        Masks are enumerated at the driver (cheap relative to the prior
+        evaluation), sliced, and weighted in parallel.  Returns the
+        lattice and the log prior mass discarded by the restriction.
+        """
+        n = prior.n_items
+        masks = enumerate_restricted_masks(n, max_positives)
+        nb = num_blocks or ctx.default_parallelism
+        nb = max(1, min(nb, masks.size))
+        slices = np.array_split(masks, nb)
+        risks_bc = ctx.broadcast(prior.risks)
+
+        def build(chunk: np.ndarray) -> LatticeBlock:
+            return LatticeBlock(n, chunk, product_prior_log(chunk, risks_bc.value))
+
+        rdd = ctx.parallelize(slices, nb).map(build).cache()
+        lattice = cls(ctx, rdd, n)
+        log_kept = lattice._renormalize()
+        log_discarded = float(np.log1p(-np.exp(min(log_kept, -1e-300)))) if log_kept < 0 else -np.inf
+        return lattice, log_discarded
+
+    @classmethod
+    def from_state_space(
+        cls, ctx: Context, space: StateSpace, num_blocks: int = 0
+    ) -> "DistributedLattice":
+        """Distribute an existing (driver-resident) state space."""
+        nb = num_blocks or ctx.default_parallelism
+        block_size = max(1, -(-space.size // nb))
+        blocks = partition_state_space(space, block_size)
+        rdd = ctx.parallelize(blocks, len(blocks)).cache()
+        lattice = cls(ctx, rdd, space.n_items)
+        lattice._renormalize()
+        return lattice
+
+    # ------------------------------------------------------------------
+    # internal plumbing
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return self.rdd.num_partitions
+
+    def _log_mass(self, rdd: Optional[RDD] = None) -> float:
+        target = rdd if rdd is not None else self.rdd
+        return target.tree_aggregate(
+            -np.inf,
+            lambda acc, b: _log_add(acc, block_log_mass(b)),
+            _log_add,
+        )
+
+    def _replace_rdd(self, new_rdd: RDD) -> None:
+        old = self.rdd
+        self.rdd = new_rdd
+        old.unpersist()
+
+    def _renormalize(self) -> float:
+        """Rescale blocks so total linear mass is one; returns old log-mass."""
+        log_mass = self._log_mass()
+        if not np.isfinite(log_mass):
+            raise ValueError("lattice has zero total mass (contradictory evidence?)")
+        if abs(log_mass) > 1e-12:
+            scaled = self.rdd.map(lambda b: block_scale(b.copy(), log_mass)).cache()
+            scaled.count()  # materialise before dropping the parent
+            self._replace_rdd(scaled)
+        return float(log_mass)
+
+    # ------------------------------------------------------------------
+    # lattice manipulation (R1)
+    # ------------------------------------------------------------------
+    def update(self, pool_mask: int, log_lik_by_count: np.ndarray) -> float:
+        """Bayes-update on a pooled outcome; returns log-predictive.
+
+        Pass 1 applies the per-count log-likelihood to every block; the
+        resulting (cached) unnormalised mass equals the predictive
+        probability of the outcome because the lattice was normalised
+        beforehand.  Pass 2 rescales to restore the invariant.
+        """
+        pool_mask = int(pool_mask)
+        ll_bc = self.ctx.broadcast(np.asarray(log_lik_by_count, dtype=np.float64))
+
+        def apply(b: LatticeBlock) -> LatticeBlock:
+            return block_update(b.copy(), pool_mask, ll_bc.value)
+
+        updated = self.rdd.map(apply).cache()
+        log_pred = self._log_mass(updated)
+        if not np.isfinite(log_pred):
+            updated.unpersist()
+            raise ValueError("observed outcome has zero probability under the model")
+        scaled = updated.map(lambda b: block_scale(b.copy(), log_pred)).cache()
+        scaled.count()
+        updated.unpersist()
+        self._replace_rdd(scaled)
+        self._updates_since_checkpoint += 1
+        if self._updates_since_checkpoint >= self.checkpoint_interval:
+            self.rebalance(self.num_blocks)
+        return float(log_pred)
+
+    def condition(self, positive_mask: int = 0, negative_mask: int = 0) -> None:
+        """Drop states inconsistent with settled classifications."""
+        if int(positive_mask) & int(negative_mask):
+            raise ValueError("an individual cannot be classified both ways")
+        pos, neg = int(positive_mask), int(negative_mask)
+        filtered = self.rdd.map(lambda b: block_filter_consistent(b, pos, neg)).cache()
+        filtered.count()
+        self._replace_rdd(filtered)
+        self._renormalize()
+
+    def prune(self, epsilon: float, bins: int = 512) -> PruneStats:
+        """Histogram-guided distributed pruning.
+
+        Instead of globally sorting states, aggregate a fixed-bin
+        histogram of log-probabilities weighted by linear mass, pick the
+        lowest bin edge whose upper tail holds at least ``1-ε`` mass,
+        and filter below it.  Keeps at least the requested mass (may
+        keep slightly more — bin-resolution conservative).
+        """
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        if epsilon == 0.0:
+            return PruneStats(self.num_states(), 0, 0.0)
+        lo, hi = self.rdd.aggregate(
+            (np.inf, -np.inf),
+            lambda acc, b: (
+                min(acc[0], float(b.log_probs.min(initial=np.inf))),
+                max(acc[1], float(b.log_probs.max(initial=-np.inf))),
+            ),
+            lambda a, b: (min(a[0], b[0]), max(a[1], b[1])),
+        )
+        if not np.isfinite(lo) or not np.isfinite(hi) or lo == hi:
+            return PruneStats(self.num_states(), 0, 0.0)
+        edges = np.linspace(lo, np.nextafter(hi, np.inf), bins + 1)
+        hist = self.rdd.tree_aggregate(
+            np.zeros(bins),
+            lambda acc, b: acc + block_histogram_partial(b, edges),
+            lambda a, b: a + b,
+        )
+        # Upper-tail cumulative mass; keep every bin needed for 1-ε.
+        tail = np.cumsum(hist[::-1])[::-1]
+        keep_bins = np.flatnonzero(tail >= 1.0 - epsilon)
+        cut_bin = int(keep_bins[-1]) if keep_bins.size else 0
+        threshold = edges[cut_bin]
+
+        before = self.num_states()
+        filtered = self.rdd.map(
+            lambda b: LatticeBlock(
+                b.n_items,
+                b.masks[b.log_probs >= threshold],
+                b.log_probs[b.log_probs >= threshold],
+            )
+        ).cache()
+        filtered.count()
+        self._replace_rdd(filtered)
+        dropped_log_mass = self._renormalize()  # pre-prune mass was 1
+        kept = self.num_states()
+        dropped_mass = float(max(0.0, 1.0 - np.exp(min(dropped_log_mass, 0.0))))
+        return PruneStats(kept, before - kept, dropped_mass)
+
+    def project_out_bit(self, bit: int, keep_positive: bool) -> None:
+        """Condition on a settled individual and squeeze their bit out.
+
+        The distributed form of lattice contraction: every surviving
+        state drops the settled bit and individuals above it shift down
+        one position (callers track the remapping).  Halves the
+        representable index space per settled diagnosis, which is what
+        keeps long screens tractable.
+        """
+        if not 0 <= bit < self.n_items:
+            raise ValueError(f"bit {bit} outside [0, {self.n_items})")
+        if self.n_items == 1:
+            raise ValueError("cannot project the last remaining individual out")
+        projected = self.rdd.map(
+            lambda b: block_project_out_bit(b, bit, keep_positive)
+        ).cache()
+        projected.count()
+        self._replace_rdd(projected)
+        self.n_items -= 1
+        self._renormalize()
+
+    def rebalance(self, num_blocks: int = 0) -> None:
+        """Collect and redistribute the lattice into even, lineage-free blocks.
+
+        Doubles as the checkpoint operation: the new RDD is a source
+        collection, so recomputation never reaches past this point.
+        """
+        space = self.collect()
+        nb = num_blocks or self.ctx.default_parallelism
+        block_size = max(1, -(-space.size // nb))
+        blocks = partition_state_space(space, block_size)
+        rdd = self.ctx.parallelize(blocks, len(blocks)).cache()
+        rdd.count()
+        self._replace_rdd(rdd)
+        self._updates_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # test selection partials (R2) — consumed by repro.sbgt.selector
+    # ------------------------------------------------------------------
+    def down_set_masses(self, pool_masks: np.ndarray) -> np.ndarray:
+        """Normalised down-set mass per candidate pool (one aggregation)."""
+        pools = np.asarray(pool_masks, dtype=np.uint64)
+        pools_bc = self.ctx.broadcast(pools)
+        return self.rdd.tree_aggregate(
+            np.zeros(pools.size),
+            lambda acc, b: acc + block_down_set_partial(b, pools_bc.value),
+            lambda a, b: a + b,
+        )
+
+    def count_distribution(self, pool_mask: int) -> np.ndarray:
+        """P(k positives in pool) for k = 0..|pool| (one aggregation)."""
+        pool_mask = int(pool_mask)
+        pool_size = int(popcount64(np.asarray([pool_mask], dtype=np.uint64))[0])
+        return self.rdd.tree_aggregate(
+            np.zeros(pool_size + 1),
+            lambda acc, b: acc + block_count_distribution_partial(b, pool_mask, pool_size),
+            lambda a, b: a + b,
+        )
+
+    # ------------------------------------------------------------------
+    # statistical analysis (R3)
+    # ------------------------------------------------------------------
+    def marginals(self) -> np.ndarray:
+        """Per-individual posterior infection probabilities."""
+        return self.rdd.tree_aggregate(
+            np.zeros(self.n_items),
+            lambda acc, b: acc + block_marginal_partial(b),
+            lambda a, b: a + b,
+        )
+
+    def entropy(self) -> float:
+        """Shannon entropy of the posterior (nats)."""
+        return self.rdd.tree_aggregate(
+            0.0,
+            lambda acc, b: acc + block_entropy_partial(b),
+            lambda a, b: a + b,
+        )
+
+    def top_states(self, k: int) -> List[Tuple[int, float]]:
+        """Global top-k (mask, probability) pairs."""
+        if k <= 0:
+            return []
+        partials = self.rdd.aggregate(
+            [],
+            lambda acc, b: heapq.nlargest(k, acc + block_top_states(b, k), key=lambda t: t[1]),
+            lambda a, b: heapq.nlargest(k, a + b, key=lambda t: t[1]),
+        )
+        return [(mask, float(np.exp(lp))) for mask, lp in partials]
+
+    def map_state(self) -> int:
+        top = self.top_states(1)
+        if not top:
+            raise ValueError("empty lattice")
+        return top[0][0]
+
+    def num_states(self) -> int:
+        return self.rdd.map(lambda b: b.size).sum()
+
+    def collect(self) -> StateSpace:
+        """Materialise the full lattice at the driver (tests / rebalance)."""
+        blocks = [b for b in self.rdd.collect() if b.size > 0]
+        return merge_blocks(blocks)
+
+    def unpersist(self) -> None:
+        self.rdd.unpersist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistributedLattice(n_items={self.n_items}, blocks={self.num_blocks})"

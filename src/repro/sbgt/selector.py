@@ -1,0 +1,198 @@
+"""Distributed test selection (operation class R2).
+
+Selection is a broadcast-and-reduce: the driver broadcasts the candidate
+pool table, every partition contracts its blocks against all candidates
+at once (one NumPy matrix-vector product per block), and a tree
+aggregation returns one number per candidate.  The arg-min happens at the
+driver with the identical tie-breaking as the serial rule, so distributed
+and serial screens choose the *same pools* given the same posterior —
+the property the integration tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.halving.bha import halving_objective
+from repro.halving.lookahead import batch_balance_objective
+from repro.lattice.partition import LatticeBlock
+from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.util.bits import popcount64
+
+__all__ = [
+    "down_set_masses_distributed",
+    "select_halving_pool_distributed",
+    "select_lookahead_pools_distributed",
+    "select_infogain_pool_distributed",
+]
+
+
+def down_set_masses_distributed(
+    lattice: DistributedLattice, pool_masks: np.ndarray
+) -> np.ndarray:
+    """Down-set mass of each candidate pool (already normalised)."""
+    return lattice.down_set_masses(pool_masks)
+
+
+def select_halving_pool_distributed(
+    lattice: DistributedLattice, pool_masks: np.ndarray
+) -> Tuple[int, float, float]:
+    """Distributed Bayesian Halving Algorithm.
+
+    Returns ``(pool_mask, down_set_mass, objective_gap)`` with the same
+    deterministic (gap, pool size, mask) tie-breaking as the serial
+    :func:`repro.halving.bha.select_halving_pool`.
+    """
+    pools = np.asarray(pool_masks, dtype=np.uint64)
+    if pools.size == 0:
+        raise ValueError("no candidate pools supplied")
+    masses = lattice.down_set_masses(pools)
+    gaps = halving_objective(masses)
+    sizes = popcount64(pools)
+    order = np.lexsort((pools, sizes, gaps))
+    best = int(order[0])
+    return int(pools[best]), float(masses[best]), float(gaps[best])
+
+
+def _block_refined_cell_masses(
+    block: LatticeBlock,
+    chosen: Tuple[int, ...],
+    candidates: np.ndarray,
+    n_cells: int,
+) -> np.ndarray:
+    """Per-candidate refined-cell masses for one block.
+
+    Returns an (n_candidates, n_cells) array: row ``c`` holds the linear
+    mass of every cell of the partition induced by ``chosen + [cand_c]``.
+    The chosen-pool cell index is recomputed per block (cheap: the batch
+    is at most a handful of pools) so no per-state state needs shuffling.
+    """
+    if block.size == 0:
+        return np.zeros((candidates.size, n_cells))
+    p = np.exp(block.log_probs)
+    cell_idx = np.zeros(block.size, dtype=np.int64)
+    for j, pool in enumerate(chosen):
+        dirty = (block.masks & np.uint64(pool)) != np.uint64(0)
+        cell_idx |= dirty.astype(np.int64) << j
+    out = np.empty((candidates.size, n_cells))
+    shift = len(chosen)
+    for c, cand in enumerate(candidates):
+        dirty = (block.masks & cand) != np.uint64(0)
+        refined = cell_idx | (dirty.astype(np.int64) << shift)
+        out[c] = np.bincount(refined, weights=p, minlength=n_cells)
+    return out
+
+
+def _block_count_hists(
+    block: LatticeBlock, candidates: np.ndarray, max_size: int
+) -> np.ndarray:
+    """Per-candidate histograms of positives-in-pool for one block.
+
+    Row ``c`` holds the linear mass of states placing ``k`` positives in
+    candidate pool ``c`` (k = 0..max_size; columns beyond a pool's size
+    stay zero).
+    """
+    out = np.zeros((candidates.size, max_size + 1))
+    if block.size == 0:
+        return out
+    p = np.exp(block.log_probs)
+    from repro.util.bits import intersect_count
+
+    for c, cand in enumerate(candidates):
+        counts = intersect_count(block.masks, int(cand))
+        out[c, : counts.max() + 1] = np.bincount(counts, weights=p)
+    return out
+
+
+def _binary_entropy(p: np.ndarray) -> np.ndarray:
+    p = np.clip(p, 1e-12, 1 - 1e-12)
+    return -(p * np.log(p) + (1 - p) * np.log1p(-p))
+
+
+def select_infogain_pool_distributed(
+    lattice: DistributedLattice, candidate_masks: np.ndarray, model
+) -> Tuple[int, float]:
+    """Distributed mutual-information pool selection (binary models).
+
+    One aggregation computes every candidate's positives-in-pool
+    distribution; the driver finishes with the closed-form binary mutual
+    information, matching
+    :class:`repro.halving.policy.InformationGainPolicy` choice for
+    choice.
+    """
+    if not getattr(model, "binary", False):
+        raise ValueError("information-gain selection requires a binary response model")
+    candidates = np.asarray(candidate_masks, dtype=np.uint64)
+    if candidates.size == 0:
+        raise ValueError("no candidate pools supplied")
+    sizes = popcount64(candidates)
+    max_size = int(sizes.max())
+    cand_bc = lattice.ctx.broadcast(candidates)
+    hists = lattice.rdd.tree_aggregate(
+        np.zeros((candidates.size, max_size + 1)),
+        lambda acc, b: acc + _block_count_hists(b, cand_bc.value, max_size),
+        lambda a, b: a + b,
+    )
+    best_pool, best_info = None, -np.inf
+    order = np.lexsort((candidates, sizes))  # deterministic scan, small first
+    for c_i in order:
+        pool_size = int(sizes[c_i])
+        pk = hists[c_i, : pool_size + 1]
+        p_pos_given_k = model.positive_prob_by_count(pool_size)
+        p_pos = float(pk @ p_pos_given_k)
+        info = float(
+            _binary_entropy(np.array([p_pos]))[0] - pk @ _binary_entropy(p_pos_given_k)
+        )
+        if info > best_info + 1e-15:
+            best_pool, best_info = int(candidates[c_i]), info
+    assert best_pool is not None
+    return best_pool, float(best_info)
+
+
+def select_lookahead_pools_distributed(
+    lattice: DistributedLattice, candidate_masks: np.ndarray, s: int
+) -> Tuple[List[int], float]:
+    """Distributed greedy s-pool look-ahead batch selection.
+
+    One aggregation per greedy step: every step broadcasts the pools
+    chosen so far plus the candidate table and reduces the per-candidate
+    refined-cell masses; the driver scores the balance objective and
+    appends the winner (same deterministic scan order as the serial
+    :func:`repro.halving.lookahead.select_lookahead_pools`).
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    candidates = np.asarray(candidate_masks, dtype=np.uint64)
+    if candidates.size == 0:
+        raise ValueError("no candidate pools supplied")
+    sizes = popcount64(candidates)
+    scan_order = np.lexsort((candidates, sizes))
+
+    chosen: List[int] = []
+    best_obj = np.inf
+    for j in range(min(s, candidates.size)):
+        n_cells = 1 << (j + 1)
+        chosen_t = tuple(chosen)
+        cand_bc = lattice.ctx.broadcast(candidates)
+
+        masses = lattice.rdd.tree_aggregate(
+            np.zeros((candidates.size, n_cells)),
+            lambda acc, b: acc
+            + _block_refined_cell_masses(b, chosen_t, cand_bc.value, n_cells),
+            lambda a, b: a + b,
+        )
+        best = None
+        for c_i in scan_order:
+            pool = int(candidates[c_i])
+            if pool in chosen:
+                continue
+            obj = batch_balance_objective(masses[c_i])
+            if best is None or obj < best[0] - 1e-15:
+                best = (obj, pool)
+        if best is None:
+            break
+        best_obj, pool = best
+        chosen.append(pool)
+    return chosen, float(best_obj)

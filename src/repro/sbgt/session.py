@@ -1,0 +1,385 @@
+"""The SBGT session: a full sequential screen on the distributed lattice.
+
+Runs the same stage protocol as the serial driver
+(:func:`repro.workflows.classify.run_screen`) — classify, select, assay,
+update — but every lattice touch goes through the engine.  The policy
+objects are the *same* classes the serial driver takes; halving,
+look-ahead and information-gain policies are transparently dispatched to
+their distributed selector implementations, while lattice-free baselines
+(individual, Dorfman) run their own logic against the session's
+marginals.
+
+With ``SBGTConfig(compact_classified=True)`` the session additionally
+performs *lattice contraction*: each settled diagnosis is conditioned on
+and its bit projected out, so the state space halves per settled
+individual.  Externally everything stays in original cohort indices —
+the session owns the live/settled bookkeeping and translates pool masks
+both ways.
+
+Produces the same :class:`~repro.workflows.classify.ScreenResult` shape,
+so accuracy/efficiency tables can mix serial and distributed rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.bayes.dilution import ResponseModel
+from repro.bayes.evidence import EvidenceLog, TestRecord
+from repro.bayes.indexmap import CohortIndexMap
+from repro.bayes.posterior import Classification, ClassificationReport
+from repro.bayes.priors import PriorSpec
+from repro.engine.context import Context
+from repro.halving.policy import (
+    BHAPolicy,
+    InformationGainPolicy,
+    LookaheadPolicy,
+    SelectionPolicy,
+)
+from repro.metrics.classification import evaluate_classification
+from repro.metrics.efficiency import efficiency_report
+from repro.sbgt.analyzer import DistributedAnalyzer
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.sbgt.selector import (
+    select_halving_pool_distributed,
+    select_infogain_pool_distributed,
+    select_lookahead_pools_distributed,
+)
+from repro.simulate.population import Cohort, make_cohort
+from repro.simulate.testing import TestLab
+from repro.util.rng import RngLike, as_rng
+from repro.workflows.classify import ScreenResult
+
+__all__ = ["SBGTSession"]
+
+
+class SBGTSession:
+    """Distributed Bayesian group-testing session for one cohort."""
+
+    def __init__(
+        self,
+        ctx: Context,
+        prior: PriorSpec,
+        model: ResponseModel,
+        config: Optional[SBGTConfig] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.prior = prior
+        self.model = model
+        self.config = config or SBGTConfig()
+        #: Log prior mass outside a rank-restricted support (−inf = dense).
+        self.log_discarded_prior = -np.inf
+        if self.config.max_positives is not None:
+            self.lattice, self.log_discarded_prior = DistributedLattice.from_restricted_prior(
+                ctx, prior, self.config.max_positives, self.config.num_blocks
+            )
+        else:
+            self.lattice = DistributedLattice.from_prior(ctx, prior, self.config.num_blocks)
+        self.analyzer = DistributedAnalyzer(self.lattice)
+        self.log = EvidenceLog()
+        self._stage = 0
+        self._marginals_cache: Optional[np.ndarray] = None
+        # Lattice-contraction bookkeeping (original <-> compact indices).
+        self._index = CohortIndexMap(prior.n_items)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return self.prior.n_items
+
+    @property
+    def num_tests(self) -> int:
+        return self.log.num_tests
+
+    @property
+    def num_live(self) -> int:
+        """Individuals still represented in the lattice."""
+        return self._index.num_live
+
+    def begin_stage(self) -> int:
+        self._stage += 1
+        return self._stage
+
+    def _invalidate(self) -> None:
+        self._marginals_cache = None
+
+    # index translation (original cohort <-> compact lattice)
+    def _to_compact_mask(self, pool_mask: int) -> int:
+        return self._index.to_compact_mask(pool_mask)
+
+    def _to_original_mask(self, compact_mask: int) -> int:
+        return self._index.to_original_mask(compact_mask)
+
+    # ------------------------------------------------------------------
+    # belief-state API (mirrors repro.bayes.Posterior)
+    # ------------------------------------------------------------------
+    def marginals(self) -> np.ndarray:
+        """Posterior infection probability per *original* individual."""
+        if self._marginals_cache is None:
+            compact = self.analyzer.marginals()
+            full = np.empty(self.n_items, dtype=np.float64)
+            for orig, positive in self._index.settled.items():
+                full[orig] = 1.0 if positive else 0.0
+            for pos, orig in enumerate(self._index.live):
+                full[orig] = compact[pos]
+            self._marginals_cache = full
+        return self._marginals_cache
+
+    def entropy(self) -> float:
+        """Posterior entropy (settled individuals contribute zero)."""
+        return self.analyzer.entropy()
+
+    def map_state(self) -> int:
+        """Most probable infection pattern, in original indices."""
+        compact = self.analyzer.map_state()
+        return self._to_original_mask(compact) | self._index.settled_positive_mask()
+
+    def classify(
+        self,
+        positive_threshold: Optional[float] = None,
+        negative_threshold: Optional[float] = None,
+    ) -> ClassificationReport:
+        pos = self.config.positive_threshold if positive_threshold is None else positive_threshold
+        neg = self.config.negative_threshold if negative_threshold is None else negative_threshold
+        marg = self.marginals()
+        statuses = tuple(
+            Classification.POSITIVE
+            if m >= pos
+            else Classification.NEGATIVE
+            if m <= neg
+            else Classification.UNDETERMINED
+            for m in marg
+        )
+        return ClassificationReport(marginals=marg, statuses=statuses)
+
+    def update(self, pool: Any, outcome: Any) -> TestRecord:
+        """Condition the distributed lattice on one pooled outcome.
+
+        *pool* is given in original cohort indices (mask or index
+        iterable) and must not contain settled individuals.
+        """
+        if isinstance(pool, (int, np.integer)):
+            pool_mask = int(pool)
+        else:
+            pool_mask = 0
+            for i in pool:
+                pool_mask |= 1 << int(i)
+        if pool_mask <= 0:
+            raise ValueError("pool must contain at least one individual")
+        pool_size = bin(pool_mask).count("1")
+        compact_pool = self._to_compact_mask(pool_mask)
+        log_lik = self.model.log_likelihood_by_count(outcome, pool_size)
+
+        ent_before = self.entropy() if self.config.track_entropy else None
+        log_pred = self.lattice.update(compact_pool, log_lik)
+        self._invalidate()
+        ent_after = self.entropy() if self.config.track_entropy else None
+
+        record = TestRecord(
+            stage=self._stage,
+            pool_mask=pool_mask,
+            pool_size=pool_size,
+            outcome=outcome,
+            log_predictive=log_pred,
+            entropy_before=ent_before,
+            entropy_after=ent_after,
+        )
+        self.log.append(record)
+        return record
+
+    def prune(self) -> None:
+        """Apply the configured pruning + rebalance policy."""
+        if self.config.prune_epsilon <= 0.0:
+            return
+        if self._stage % self.config.prune_interval != 0:
+            return
+        self.lattice.prune(self.config.prune_epsilon)
+        if self.lattice.num_states() <= self.config.rebalance_states:
+            self.lattice.rebalance()
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # lattice contraction
+    # ------------------------------------------------------------------
+    def settle(self, individual: int, as_positive: bool) -> None:
+        """Commit a diagnosis and project the individual out.
+
+        Irreversible: the lattice is conditioned on the committed value.
+        The final live individual is never projected (a lattice needs at
+        least one bit); their diagnosis is still recorded.
+        """
+        project = self._index.num_live > 1
+        pos = self._index.settle(individual, as_positive)  # validates
+        if project:
+            self.lattice.project_out_bit(pos, as_positive)
+        self._invalidate()
+
+    def _compact_settled(self, report: ClassificationReport) -> None:
+        if not self.config.compact_classified:
+            return
+        for i, status in enumerate(report.statuses):
+            if status is Classification.UNDETERMINED or self._index.is_settled(i):
+                continue
+            if self._index.num_live == 0:
+                break
+            self.settle(i, status is Classification.POSITIVE)
+
+    # ------------------------------------------------------------------
+    # policy dispatch
+    # ------------------------------------------------------------------
+    def select_pools(self, policy: SelectionPolicy, eligible_mask: int) -> List[int]:
+        """One stage of pool proposals (original indices), distributed
+        where the policy's math touches the lattice."""
+        if isinstance(policy, LookaheadPolicy):
+            cands = policy.candidates.generate(self.marginals(), eligible_mask)
+            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            pools, _ = select_lookahead_pools_distributed(self.lattice, compact, policy.depth)
+            return [self._to_original_mask(p) for p in pools]
+        if isinstance(policy, BHAPolicy):
+            cands = policy.candidates.generate(self.marginals(), eligible_mask)
+            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            pool, _, _ = select_halving_pool_distributed(self.lattice, compact)
+            return [self._to_original_mask(pool)]
+        if isinstance(policy, InformationGainPolicy):
+            cands = policy.candidates.generate(self.marginals(), eligible_mask)
+            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            pool, _ = select_infogain_pool_distributed(self.lattice, compact, self.model)
+            return [self._to_original_mask(pool)]
+        # Lattice-free baselines (individual, Dorfman, custom): they see
+        # the session itself, which quacks enough (marginals()).
+        return policy.select(self, eligible_mask)
+
+    # ------------------------------------------------------------------
+    # full screen
+    # ------------------------------------------------------------------
+    def run_screen(
+        self,
+        policy: SelectionPolicy,
+        rng: RngLike = None,
+        cohort: Optional[Cohort] = None,
+        stopping_rule=None,
+    ) -> ScreenResult:
+        """Run the classify/select/assay/update loop to completion.
+
+        ``stopping_rule`` (see
+        :class:`~repro.halving.stopping.LossBasedStopping`) additionally
+        ends the screen once the residual misclassification risk is
+        cheaper than testing further, issuing loss-optimal calls.
+        """
+        from repro.workflows.classify import _loss_final_report
+
+        gen = as_rng(rng)
+        if cohort is None:
+            cohort = make_cohort(self.prior, gen)
+        lab = TestLab(self.model, cohort.truth_mask, gen)
+        policy.reset()
+
+        stages_used = 0
+        exhausted = False
+        report = self.classify()
+        self._compact_settled(report)
+        while not report.all_classified:
+            if stopping_rule is not None and stopping_rule.should_stop(report.marginals):
+                report = _loss_final_report(report.marginals, stopping_rule)
+                break
+            if stages_used >= self.config.max_stages:
+                exhausted = True
+                break
+            eligible = 0
+            for i in report.undetermined():
+                eligible |= 1 << i
+            pools = self.select_pools(policy, eligible)
+            if not pools:
+                raise RuntimeError(f"policy {policy.name} proposed no pools")
+            self.begin_stage()
+            stages_used += 1
+            for pool in pools:
+                outcome = lab.run(pool)
+                self.update(pool, outcome)
+            self.prune()
+            report = self.classify()
+            self._compact_settled(report)
+
+        confusion = evaluate_classification(report, cohort.truth_mask)
+        eff = efficiency_report(
+            cohort.n_items, lab.stats.num_tests, stages_used, lab.stats.num_samples_used
+        )
+        return ScreenResult(
+            cohort=cohort,
+            report=report,
+            confusion=confusion,
+            efficiency=eff,
+            posterior=self,  # duck-typed: exposes marginals/entropy/log
+            stages_used=stages_used,
+            exhausted_budget=exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Checkpoint the session (lattice + evidence trail) to ``.npz``.
+
+        The distributed lattice is collected to the driver for the
+        write; contraction must not have started (same restriction as
+        the serial checkpoint).  Restore with :meth:`load`.
+        """
+        from repro.bayes.posterior import Posterior
+        from repro.lattice.serialize import save_posterior
+
+        if self._index.any_settled:
+            raise ValueError("checkpointing a contracted session is not supported")
+        snapshot = Posterior(self.lattice.collect(), self.model,
+                             track_entropy=self.config.track_entropy)
+        snapshot._stage = self._stage
+        snapshot.log = self.log
+        save_posterior(snapshot, path)
+
+    @classmethod
+    def load(
+        cls,
+        ctx: Context,
+        path,
+        prior: PriorSpec,
+        model: ResponseModel,
+        config: Optional[SBGTConfig] = None,
+    ) -> "SBGTSession":
+        """Restore a checkpointed session onto a (possibly new) context.
+
+        *prior* and *model* are configuration and must match what the
+        checkpointed screen was using; the belief state itself comes
+        from the file.
+        """
+        from repro.lattice.serialize import load_posterior
+
+        snapshot = load_posterior(path, model)
+        if snapshot.space.n_items != prior.n_items:
+            raise ValueError("checkpoint cohort size does not match the prior")
+        session = cls.__new__(cls)
+        session.ctx = ctx
+        session.prior = prior
+        session.model = model
+        session.config = config or SBGTConfig()
+        session.log_discarded_prior = -np.inf
+        session.lattice = DistributedLattice.from_state_space(
+            ctx, snapshot.space, session.config.num_blocks
+        )
+        session.analyzer = DistributedAnalyzer(session.lattice)
+        session.log = snapshot.log
+        session._stage = snapshot._stage
+        session._marginals_cache = None
+        session._index = CohortIndexMap(prior.n_items)
+        return session
+
+    def close(self) -> None:
+        """Release cached lattice blocks (the context stays usable)."""
+        self.lattice.unpersist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SBGTSession(n_items={self.n_items}, live={self.num_live}, "
+            f"blocks={self.lattice.num_blocks}, tests={self.num_tests})"
+        )

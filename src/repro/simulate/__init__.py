@@ -1,0 +1,35 @@
+"""Synthetic disease-surveillance workloads.
+
+Stands in for the COVID-19 cohorts and lab assays of the paper's
+evaluation: ground-truth infection draws under heterogeneous risk, a
+virtual lab applying the dilution response models, and epidemic
+prevalence trajectories for longitudinal surveillance scenarios.
+"""
+
+from repro.simulate.population import Cohort, draw_truth, make_cohort
+from repro.simulate.testing import TestLab, LabStats
+from repro.simulate.epidemic import sir_prevalence, surveillance_priors
+from repro.simulate.scenario import Scenario, SCENARIOS, get_scenario
+from repro.simulate.linelist import (
+    LogisticRiskModel,
+    PersonRecord,
+    generate_line_list,
+    line_list_to_prior,
+)
+
+__all__ = [
+    "Cohort",
+    "draw_truth",
+    "make_cohort",
+    "TestLab",
+    "LabStats",
+    "sir_prevalence",
+    "surveillance_priors",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "PersonRecord",
+    "LogisticRiskModel",
+    "generate_line_list",
+    "line_list_to_prior",
+]

@@ -1,0 +1,117 @@
+"""Line-list workloads: covariates → individual risk priors.
+
+Real surveillance programs don't receive risk probabilities — they
+receive a *line list*: per-person records (age band, symptoms, exposure,
+vaccination, days since contact).  A risk model turns those covariates
+into the prior each individual carries into the lattice.  This module
+generates synthetic line lists with plausible covariate structure and
+provides the logistic risk model used by the heterogeneous-prior
+experiments, exercising the same code path a real deployment would:
+records → risks → :class:`~repro.bayes.priors.PriorSpec` → screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bayes.priors import PriorSpec
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_positive_int
+
+__all__ = ["PersonRecord", "LogisticRiskModel", "generate_line_list", "line_list_to_prior"]
+
+
+@dataclass(frozen=True)
+class PersonRecord:
+    """One line-list row (the covariates a program actually collects)."""
+
+    person_id: int
+    age_band: int  # 0: 0-17, 1: 18-39, 2: 40-64, 3: 65+
+    symptomatic: bool
+    known_exposure: bool
+    days_since_exposure: int  # -1 when no known exposure
+    vaccinated: bool
+    household_size: int
+
+
+@dataclass
+class LogisticRiskModel:
+    """Logistic regression from covariates to infection risk.
+
+    Default coefficients encode the qualitative epidemiology the
+    scenarios assume: symptoms and recent exposure dominate, vaccination
+    protects, risk decays with days since exposure.  Coefficients are
+    plain floats so programs can refit them on their own data.
+    """
+
+    intercept: float = -4.2  # baseline ≈ 1.5% risk
+    symptomatic: float = 2.0
+    known_exposure: float = 1.6
+    per_day_since_exposure: float = -0.12
+    vaccinated: float = -0.9
+    age_band: Dict[int, float] = field(
+        default_factory=lambda: {0: -0.3, 1: 0.0, 2: 0.15, 3: 0.35}
+    )
+    per_household_member: float = 0.06
+
+    def risk(self, record: PersonRecord) -> float:
+        """Infection probability for one record."""
+        z = self.intercept
+        if record.symptomatic:
+            z += self.symptomatic
+        if record.known_exposure:
+            z += self.known_exposure
+            z += self.per_day_since_exposure * max(0, record.days_since_exposure)
+        if record.vaccinated:
+            z += self.vaccinated
+        z += self.age_band.get(record.age_band, 0.0)
+        z += self.per_household_member * max(0, record.household_size - 1)
+        return float(1.0 / (1.0 + np.exp(-z)))
+
+    def risks(self, records: Sequence[PersonRecord]) -> np.ndarray:
+        return np.array([self.risk(r) for r in records])
+
+
+def generate_line_list(
+    n: int,
+    rng: RngLike = None,
+    exposure_rate: float = 0.15,
+    symptomatic_rate: float = 0.10,
+    vaccination_rate: float = 0.6,
+) -> List[PersonRecord]:
+    """Draw a synthetic line list with correlated covariates.
+
+    Symptoms are more likely among the exposed (2.5×), mirroring how
+    line lists look during active contact tracing.
+    """
+    n = check_positive_int(n, "n")
+    gen = as_rng(rng)
+    records = []
+    for i in range(n):
+        exposed = bool(gen.random() < exposure_rate)
+        symptom_p = min(1.0, symptomatic_rate * (2.5 if exposed else 1.0))
+        records.append(
+            PersonRecord(
+                person_id=i,
+                age_band=int(gen.choice(4, p=[0.2, 0.35, 0.3, 0.15])),
+                symptomatic=bool(gen.random() < symptom_p),
+                known_exposure=exposed,
+                days_since_exposure=int(gen.integers(0, 10)) if exposed else -1,
+                vaccinated=bool(gen.random() < vaccination_rate),
+                household_size=int(gen.integers(1, 7)),
+            )
+        )
+    return records
+
+
+def line_list_to_prior(
+    records: Sequence[PersonRecord], model: LogisticRiskModel | None = None
+) -> PriorSpec:
+    """The deployment path: line list → risk model → cohort prior."""
+    if not records:
+        raise ValueError("empty line list")
+    model = model or LogisticRiskModel()
+    return PriorSpec(model.risks(records))

@@ -1,0 +1,37 @@
+"""Shared low-level utilities: bit manipulation, RNG handling, validation.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.util.bits import (
+    mask_from_indices,
+    indices_from_mask,
+    popcount64,
+    intersect_count,
+    is_subset,
+)
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.timer import Timer, WallClock
+from repro.util.validation import (
+    check_probability,
+    check_probability_array,
+    check_positive_int,
+    check_in_range,
+)
+
+__all__ = [
+    "mask_from_indices",
+    "indices_from_mask",
+    "popcount64",
+    "intersect_count",
+    "is_subset",
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "WallClock",
+    "check_probability",
+    "check_probability_array",
+    "check_positive_int",
+    "check_in_range",
+]

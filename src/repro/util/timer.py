@@ -1,0 +1,85 @@
+"""Wall-clock timing helpers used by the benchmark harness and metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Timer", "WallClock"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class WallClock:
+    """Named accumulating timers (e.g. 'update', 'select', 'analyze').
+
+    Collects a list of samples per label so reports can show totals,
+    means and counts per operation class.
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, label: str, seconds: float) -> None:
+        self.samples.setdefault(label, []).append(float(seconds))
+
+    def time(self, label: str) -> "_ClockCtx":
+        return _ClockCtx(self, label)
+
+    def total(self, label: str) -> float:
+        return float(sum(self.samples.get(label, ())))
+
+    def count(self, label: str) -> int:
+        return len(self.samples.get(label, ()))
+
+    def mean(self, label: str) -> float:
+        xs = self.samples.get(label, ())
+        return float(sum(xs) / len(xs)) if xs else 0.0
+
+    def merge(self, other: "WallClock") -> None:
+        for label, xs in other.samples.items():
+            self.samples.setdefault(label, []).extend(xs)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        return {
+            label: {
+                "total_s": self.total(label),
+                "mean_s": self.mean(label),
+                "count": float(self.count(label)),
+            }
+            for label in sorted(self.samples)
+        }
+
+
+class _ClockCtx:
+    def __init__(self, clock: WallClock, label: str) -> None:
+        self._clock = clock
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_ClockCtx":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._clock.record(self._label, time.perf_counter() - self._start)

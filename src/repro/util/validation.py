@@ -1,0 +1,48 @@
+"""Argument-validation helpers shared across the public API surface."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_probability",
+    "check_probability_array",
+    "check_positive_int",
+    "check_in_range",
+]
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate a scalar probability in [0, 1] and return it as float."""
+    v = float(value)
+    if not np.isfinite(v) or not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return v
+
+
+def check_probability_array(values: Any, name: str = "values") -> np.ndarray:
+    """Validate an array of probabilities in [0, 1]; returns float64 array."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)) or np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise ValueError(f"{name} must contain probabilities in [0, 1]")
+    return arr
+
+
+def check_positive_int(value: Any, name: str = "value") -> int:
+    """Validate a strictly positive integer and return it as int."""
+    v = int(value)
+    if v != value or v <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return v
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str = "value") -> float:
+    """Validate ``lo <= value <= hi`` and return it as float."""
+    v = float(value)
+    if not np.isfinite(v) or not lo <= v <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return v

@@ -1,0 +1,238 @@
+"""The sequential classification loop (serial reference driver).
+
+One *screen* classifies a cohort: at each stage the policy proposes
+pools, the virtual lab assays them, the posterior conditions on the
+outcomes, and individuals crossing the marginal thresholds are settled.
+The loop ends when everyone is classified or the stage budget runs out.
+
+:class:`SBGTSession` (:mod:`repro.sbgt.session`) runs the same protocol
+against the distributed lattice; both produce a :class:`ScreenResult`,
+so every accuracy/efficiency experiment can compare them row for row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bayes.dilution import ResponseModel
+from repro.bayes.posterior import ClassificationReport, Posterior
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import SelectionPolicy
+from repro.metrics.classification import ConfusionCounts, evaluate_classification
+from repro.metrics.efficiency import EfficiencyReport, efficiency_report
+from repro.simulate.population import Cohort, make_cohort
+from repro.simulate.testing import TestLab
+from repro.util.rng import RngLike, as_rng
+
+__all__ = ["ScreenResult", "run_screen", "run_screen_from_space"]
+
+
+@dataclass
+class ScreenResult:
+    """Everything a finished screen produced."""
+
+    cohort: Cohort
+    report: ClassificationReport
+    confusion: ConfusionCounts
+    efficiency: EfficiencyReport
+    posterior: Posterior
+    stages_used: int
+    exhausted_budget: bool
+
+    @property
+    def accuracy(self) -> float:
+        return self.confusion.accuracy
+
+    @property
+    def tests_per_individual(self) -> float:
+        return self.efficiency.tests_per_individual
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for tables / JSON dumps)."""
+        return {
+            "n_items": self.cohort.n_items,
+            "true_positives_present": self.cohort.n_positive,
+            "called_positive": len(self.report.positives()),
+            "undetermined": len(self.report.undetermined()),
+            "tests": self.efficiency.num_tests,
+            "tests_per_individual": self.tests_per_individual,
+            "stages": self.stages_used,
+            "accuracy": self.accuracy,
+            "sensitivity": self.confusion.sensitivity,
+            "specificity": self.confusion.specificity,
+            "exhausted_budget": self.exhausted_budget,
+        }
+
+
+def _eligible_mask(report: ClassificationReport) -> int:
+    return report.undetermined_mask()
+
+
+def _loss_final_report(marginals: np.ndarray, stopping_rule) -> ClassificationReport:
+    """Terminal report when a loss-based rule fires: every individual
+    gets their loss-optimal call (no undetermined left)."""
+    from repro.bayes.posterior import Classification
+
+    calls = stopping_rule.classify_now(marginals)
+    statuses = tuple(
+        Classification.POSITIVE if positive else Classification.NEGATIVE
+        for positive in calls
+    )
+    return ClassificationReport(marginals=np.asarray(marginals), statuses=statuses)
+
+
+def run_screen(
+    prior: PriorSpec,
+    model: ResponseModel,
+    policy: SelectionPolicy,
+    rng: RngLike = None,
+    cohort: Optional[Cohort] = None,
+    positive_threshold: float = 0.99,
+    negative_threshold: float = 0.01,
+    max_stages: int = 50,
+    prune_epsilon: float = 0.0,
+    track_entropy: bool = False,
+    stopping_rule=None,
+) -> ScreenResult:
+    """Run one complete sequential screen.
+
+    Parameters
+    ----------
+    prior, model, policy:
+        The Bayesian model and the test-selection rule.
+    rng:
+        Drives truth draw (when *cohort* is None) and assay noise.
+    cohort:
+        Fixed ground truth; drawn from the prior when omitted.
+    positive_threshold, negative_threshold:
+        Marginal cut-offs that settle an individual.
+    max_stages:
+        Stage budget; a screen that exhausts it reports
+        ``exhausted_budget=True`` with whatever is still undetermined.
+    prune_epsilon:
+        When positive, prune the posterior support to the ``1-ε`` core
+        after every stage (the approximation the ablation sweeps).
+    stopping_rule:
+        Optional :class:`~repro.halving.stopping.LossBasedStopping`:
+        the screen also ends when residual misclassification risk drops
+        below the cost of testing further, with every individual given
+        their loss-optimal call (no undetermined statuses).
+    """
+    gen = as_rng(rng)
+    if cohort is None:
+        cohort = make_cohort(prior, gen)
+    elif cohort.prior is not prior and cohort.prior.n_items != prior.n_items:
+        raise ValueError("cohort does not match the prior's cohort size")
+
+    lab = TestLab(model, cohort.truth_mask, gen)
+    posterior = Posterior.from_prior(prior, model, track_entropy=track_entropy)
+    policy.reset()
+
+    stages_used = 0
+    exhausted = False
+    report = posterior.classify(positive_threshold, negative_threshold)
+    while not report.all_classified:
+        if stopping_rule is not None and stopping_rule.should_stop(report.marginals):
+            report = _loss_final_report(report.marginals, stopping_rule)
+            break
+        if stages_used >= max_stages:
+            exhausted = True
+            break
+        eligible = _eligible_mask(report)
+        pools = policy.select(posterior, eligible)
+        if not pools:
+            raise RuntimeError(f"policy {policy.name} proposed no pools")
+        posterior.begin_stage()
+        stages_used += 1
+        for pool in pools:
+            outcome = lab.run(pool)
+            posterior.update(pool, outcome)
+        if prune_epsilon > 0.0:
+            posterior.prune(prune_epsilon)
+        report = posterior.classify(positive_threshold, negative_threshold)
+
+    confusion = evaluate_classification(report, cohort.truth_mask)
+    eff = efficiency_report(
+        cohort.n_items, lab.stats.num_tests, stages_used, lab.stats.num_samples_used
+    )
+    return ScreenResult(
+        cohort=cohort,
+        report=report,
+        confusion=confusion,
+        efficiency=eff,
+        posterior=posterior,
+        stages_used=stages_used,
+        exhausted_budget=exhausted,
+    )
+
+
+def run_screen_from_space(
+    space,
+    model: ResponseModel,
+    policy: SelectionPolicy,
+    rng: RngLike = None,
+    truth_mask: Optional[int] = None,
+    positive_threshold: float = 0.99,
+    negative_threshold: float = 0.01,
+    max_stages: int = 50,
+    prune_epsilon: float = 0.0,
+    track_entropy: bool = False,
+) -> ScreenResult:
+    """Run a screen whose prior is an arbitrary state space.
+
+    This is the entry point for *correlated* priors (e.g.
+    :class:`~repro.bayes.correlated.HouseholdPrior`), which cannot be
+    expressed as a per-individual risk vector.  Ground truth is drawn
+    from the prior distribution itself when *truth_mask* is omitted.
+    The returned result's ``cohort.prior`` carries the prior's
+    *marginals* (a summary — the full dependence structure lives in the
+    posterior's state space).
+    """
+    from repro.bayes.posterior import Posterior
+    from repro.lattice.ops import marginals as space_marginals
+    from repro.simulate.population import draw_truth_from_space
+
+    gen = as_rng(rng)
+    if truth_mask is None:
+        truth_mask = draw_truth_from_space(space, gen)
+    marginal_prior = PriorSpec(np.clip(space_marginals(space), 1e-9, 1 - 1e-9))
+    cohort = Cohort(prior=marginal_prior, truth_mask=int(truth_mask))
+
+    lab = TestLab(model, cohort.truth_mask, gen)
+    posterior = Posterior(space.copy(), model, track_entropy=track_entropy)
+    policy.reset()
+
+    stages_used = 0
+    exhausted = False
+    report = posterior.classify(positive_threshold, negative_threshold)
+    while not report.all_classified:
+        if stages_used >= max_stages:
+            exhausted = True
+            break
+        pools = policy.select(posterior, report.undetermined_mask())
+        if not pools:
+            raise RuntimeError(f"policy {policy.name} proposed no pools")
+        posterior.begin_stage()
+        stages_used += 1
+        for pool in pools:
+            posterior.update(pool, lab.run(pool))
+        if prune_epsilon > 0.0:
+            posterior.prune(prune_epsilon)
+        report = posterior.classify(positive_threshold, negative_threshold)
+
+    confusion = evaluate_classification(report, cohort.truth_mask)
+    eff = efficiency_report(
+        cohort.n_items, lab.stats.num_tests, stages_used, lab.stats.num_samples_used
+    )
+    return ScreenResult(
+        cohort=cohort,
+        report=report,
+        confusion=confusion,
+        efficiency=eff,
+        posterior=posterior,
+        stages_used=stages_used,
+        exhausted_budget=exhausted,
+    )

@@ -1,0 +1,174 @@
+"""Posterior: sequential updates, classification, the dict oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline.pydict import PyDictPosterior
+from repro.bayes.dilution import BinaryErrorModel, DilutionErrorModel, PerfectTest
+from repro.bayes.posterior import Classification, Posterior
+from repro.bayes.priors import PriorSpec
+
+
+class TestUpdates:
+    def test_negative_pool_clears_members(self):
+        post = Posterior.from_prior(PriorSpec.uniform(6, 0.1), PerfectTest())
+        post.update([0, 1, 2], False)
+        m = post.marginals()
+        assert np.allclose(m[:3], 0.0, atol=1e-12)
+        assert np.allclose(m[3:], 0.1, atol=1e-10)
+
+    def test_positive_pool_raises_members(self):
+        post = Posterior.from_prior(PriorSpec.uniform(6, 0.1), PerfectTest())
+        before = post.marginals()[0]
+        post.update([0, 1], True)
+        assert post.marginals()[0] > before
+
+    def test_individual_positive_test_settles(self):
+        post = Posterior.from_prior(PriorSpec.uniform(4, 0.1), PerfectTest())
+        post.update([2], True)
+        assert post.marginals()[2] == pytest.approx(1.0)
+
+    def test_pool_accepts_mask_or_indices(self):
+        p1 = Posterior.from_prior(PriorSpec.uniform(4, 0.2), PerfectTest())
+        p2 = Posterior.from_prior(PriorSpec.uniform(4, 0.2), PerfectTest())
+        p1.update([0, 2], False)
+        p2.update(0b0101, False)
+        assert np.allclose(p1.marginals(), p2.marginals())
+
+    def test_empty_pool_raises(self):
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.1), PerfectTest())
+        with pytest.raises(ValueError):
+            post.update(0, False)
+
+    def test_num_tests_counted(self):
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.1), BinaryErrorModel())
+        post.update([0], False)
+        post.update([1], False)
+        assert post.num_tests == 2
+
+    def test_repeated_noisy_tests_converge(self):
+        model = BinaryErrorModel(0.9, 0.9)
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.3), model)
+        for _ in range(10):
+            post.update([0], True)
+        assert post.marginals()[0] > 0.99
+
+
+class TestAgainstPyDictOracle:
+    """The vectorised posterior must agree with the per-state dict oracle."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            PerfectTest(),
+            BinaryErrorModel(0.95, 0.98),
+            DilutionErrorModel(0.97, 0.99, 0.5),
+        ],
+        ids=["perfect", "binary", "dilution"],
+    )
+    def test_marginals_match_after_test_sequence(self, model):
+        risks = [0.05, 0.15, 0.3, 0.08, 0.2]
+        fast = Posterior.from_prior(PriorSpec(np.array(risks)), model)
+        oracle = PyDictPosterior(risks, model)
+        sequence = [([0, 1, 2], True), ([0], False), ([3, 4], False), ([1, 2], True), ([1], True)]
+        for pool, outcome in sequence:
+            fast.update(pool, outcome)
+            oracle.update(pool, outcome)
+            assert np.allclose(fast.marginals(), oracle.marginals(), atol=1e-9)
+
+    def test_entropy_matches(self):
+        risks = [0.1, 0.25, 0.4]
+        model = BinaryErrorModel(0.9, 0.95)
+        fast = Posterior.from_prior(PriorSpec(np.array(risks)), model)
+        oracle = PyDictPosterior(risks, model)
+        fast.update([0, 1], True)
+        oracle.update([0, 1], True)
+        assert fast.entropy() == pytest.approx(oracle.lattice.entropy(), abs=1e-9)
+
+    def test_map_state_matches(self):
+        risks = [0.05, 0.4, 0.2, 0.1]
+        model = DilutionErrorModel(0.95, 0.99, 0.3)
+        fast = Posterior.from_prior(PriorSpec(np.array(risks)), model)
+        oracle = PyDictPosterior(risks, model)
+        for pool, outcome in [([1, 2], True), ([0, 3], False)]:
+            fast.update(pool, outcome)
+            oracle.update(pool, outcome)
+        assert fast.map_state() == oracle.lattice.map_state()
+
+
+class TestClassification:
+    def test_thresholds(self):
+        post = Posterior.from_prior(PriorSpec.uniform(4, 0.1), PerfectTest())
+        post.update([0], True)
+        post.update([1], False)
+        report = post.classify(0.99, 0.01)
+        assert report.statuses[0] is Classification.POSITIVE
+        assert report.statuses[1] is Classification.NEGATIVE
+        assert report.statuses[2] is Classification.UNDETERMINED
+
+    def test_report_index_lists(self):
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.1), PerfectTest())
+        post.update([0], True)
+        post.update([1], False)
+        post.update([2], False)
+        report = post.classify()
+        assert report.positives() == [0]
+        assert report.negatives() == [1, 2]
+        assert report.all_classified
+
+    def test_invalid_thresholds(self):
+        post = Posterior.from_prior(PriorSpec.uniform(2, 0.1), PerfectTest())
+        with pytest.raises(ValueError):
+            post.classify(0.5, 0.6)
+
+    def test_n_classified(self):
+        post = Posterior.from_prior(PriorSpec.uniform(4, 0.3), PerfectTest())
+        report = post.classify()
+        assert report.n_classified == 0
+        assert not report.all_classified
+
+
+class TestEvidence:
+    def test_log_predictive_of_certain_outcome(self):
+        # Pool of all with perfect test: P(negative) = prod(1 - risk)
+        post = Posterior.from_prior(PriorSpec.uniform(4, 0.1), PerfectTest())
+        rec = post.update([0, 1, 2, 3], False)
+        assert rec.log_predictive == pytest.approx(4 * math.log(0.9), abs=1e-9)
+
+    def test_log_evidence_accumulates(self):
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.2), BinaryErrorModel())
+        post.update([0], False)
+        post.update([1], False)
+        assert post.log.log_evidence == pytest.approx(
+            sum(r.log_predictive for r in post.log.records)
+        )
+
+    def test_entropy_tracking(self):
+        post = Posterior.from_prior(
+            PriorSpec.uniform(3, 0.2), PerfectTest(), track_entropy=True
+        )
+        rec = post.update([0, 1, 2], False)
+        assert rec.entropy_before is not None
+        assert rec.entropy_after is not None
+        assert rec.information_gain > 0
+
+    def test_entropy_not_tracked_by_default(self):
+        post = Posterior.from_prior(PriorSpec.uniform(3, 0.2), PerfectTest())
+        rec = post.update([0], False)
+        assert rec.entropy_before is None
+        assert rec.information_gain is None
+
+    def test_prune_keeps_marginals_close(self):
+        post = Posterior.from_prior(PriorSpec.uniform(8, 0.05), BinaryErrorModel())
+        post.update([0, 1, 2, 3], False)
+        before = post.marginals()
+        post.prune(1e-6)
+        assert np.allclose(post.marginals(), before, atol=1e-4)
+
+    def test_stage_counter(self):
+        post = Posterior.from_prior(PriorSpec.uniform(2, 0.1), PerfectTest())
+        assert post.begin_stage() == 1
+        post.update([0], False)
+        assert post.log.records[-1].stage == 1

@@ -1,0 +1,72 @@
+"""LRU block store."""
+
+import numpy as np
+import pytest
+
+from repro.engine.blockstore import BlockStore
+
+
+class TestBlockStore:
+    def test_put_get(self):
+        store = BlockStore(1 << 20)
+        store.put((0, 0), [1, 2, 3])
+        assert store.get((0, 0)) == [1, 2, 3]
+
+    def test_miss_returns_none(self):
+        store = BlockStore(1 << 20)
+        assert store.get((9, 9)) is None
+
+    def test_hit_miss_counters(self):
+        store = BlockStore(1 << 20)
+        store.put((0, 0), [1])
+        store.get((0, 0))
+        store.get((1, 1))
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_lru_eviction_order(self):
+        store = BlockStore(4096)
+        big = list(range(100))
+        store.put((0, 0), big)
+        store.put((0, 1), big)
+        store.get((0, 0))  # touch 0 so 1 is LRU
+        store.put((0, 2), big)  # must evict something
+        if store.evictions:
+            assert store.get((0, 0)) is not None or store.get((0, 2)) is not None
+
+    def test_oversized_block_still_stored(self):
+        store = BlockStore(64)
+        store.put((0, 0), list(range(1000)))
+        assert store.get((0, 0)) is not None
+
+    def test_numpy_size_estimation(self):
+        store = BlockStore(1 << 30)
+        store.put((0, 0), [np.zeros(1000)])
+        assert store.used_bytes >= 8000
+
+    def test_drop_rdd(self):
+        store = BlockStore(1 << 20)
+        store.put((1, 0), [1])
+        store.put((1, 1), [2])
+        store.put((2, 0), [3])
+        assert store.drop_rdd(1) == 2
+        assert store.get((1, 0)) is None
+        assert store.get((2, 0)) == [3]
+
+    def test_replace_same_key(self):
+        store = BlockStore(1 << 20)
+        store.put((0, 0), [1])
+        store.put((0, 0), [2, 3])
+        assert store.get((0, 0)) == [2, 3]
+        assert len(store) == 1
+
+    def test_clear(self):
+        store = BlockStore(1 << 20)
+        store.put((0, 0), [1])
+        store.clear()
+        assert len(store) == 0
+        assert store.used_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BlockStore(0)

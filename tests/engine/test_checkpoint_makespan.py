@@ -1,0 +1,77 @@
+"""RDD.checkpoint and the simulated-makespan projection."""
+
+import pytest
+
+from repro.engine import Context
+from repro.engine.metrics import simulated_makespan
+
+
+class TestCheckpoint:
+    def test_same_contents(self, ctx):
+        rdd = ctx.range(20, num_partitions=4).map(lambda x: x * 3)
+        ck = rdd.checkpoint()
+        assert ck.collect() == rdd.collect()
+        assert ck.num_partitions == 4
+
+    def test_no_lineage(self, ctx):
+        ck = ctx.range(10, num_partitions=2).map(lambda x: x).checkpoint()
+        assert ck.dependencies == []
+        assert "CheckpointedRDD" in ck.debug_string()
+
+    def test_truncates_recomputation(self):
+        with Context(mode="serial") as ctx:
+            acc = ctx.accumulator(0)
+
+            def tap(x):
+                acc.add(1)
+                return x
+
+            ck = ctx.range(5, num_partitions=1).map(tap).checkpoint()
+            assert acc.value == 5  # materialized once at checkpoint time
+            ck.count()
+            ck.sum()
+            assert acc.value == 5  # never recomputed
+
+    def test_empty_rdd(self, ctx):
+        ck = ctx.parallelize([], 1).checkpoint()
+        assert ck.collect() == []
+
+    def test_downstream_transforms_work(self, ctx):
+        ck = ctx.range(6, num_partitions=2).checkpoint()
+        assert dict(
+            ck.map(lambda x: (x % 2, x)).reduce_by_key(lambda a, b: a + b).collect()
+        ) == {0: 6, 1: 9}
+
+
+class TestSimulatedMakespan:
+    def test_single_worker_is_sum(self):
+        assert simulated_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert simulated_makespan([1.0, 1.0, 1.0, 1.0], 2) == pytest.approx(2.0)
+
+    def test_lpt_beats_naive_order(self):
+        # LPT puts the big task alone: makespan 3, not 4.
+        times = [3.0, 1.0, 1.0, 1.0]
+        assert simulated_makespan(times, 2) == pytest.approx(3.0)
+
+    def test_more_workers_never_slower(self):
+        times = [0.5, 0.9, 1.3, 0.2, 0.7, 1.1]
+        spans = [simulated_makespan(times, w) for w in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-12 for a, b in zip(spans, spans[1:]))
+
+    def test_bounded_below_by_max_task(self):
+        times = [5.0, 0.1, 0.1]
+        assert simulated_makespan(times, 16) == pytest.approx(5.0)
+
+    def test_overhead_charged_per_task(self):
+        base = simulated_makespan([1.0, 1.0], 2)
+        with_oh = simulated_makespan([1.0, 1.0], 2, per_task_overhead_s=0.5)
+        assert with_oh == pytest.approx(base + 0.5)
+
+    def test_empty_tasks(self):
+        assert simulated_makespan([], 4) == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            simulated_makespan([1.0], 0)

@@ -1,0 +1,112 @@
+"""The same workload across all three executor backends."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Context
+
+
+@pytest.fixture(scope="module", params=["serial", "threads", "processes"])
+def mode_ctx(request):
+    with Context(mode=request.param, parallelism=2) as c:
+        yield c
+
+
+class TestModeParity:
+    def test_map_reduce(self, mode_ctx):
+        assert mode_ctx.range(100, num_partitions=4).map(lambda x: x * 3).sum() == 14850
+
+    def test_shuffle(self, mode_ctx):
+        pairs = mode_ctx.parallelize([(i % 4, i) for i in range(40)], 4)
+        out = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        expected = {k: sum(i for i in range(40) if i % 4 == k) for k in range(4)}
+        assert out == expected
+
+    def test_broadcast(self, mode_ctx):
+        bc = mode_ctx.broadcast(np.arange(10))
+        out = mode_ctx.range(10, num_partitions=2).map(lambda i: int(bc.value[i])).collect()
+        assert out == list(range(10))
+
+    def test_accumulator(self, mode_ctx):
+        acc = mode_ctx.accumulator(0)
+        mode_ctx.range(20, num_partitions=4).foreach(lambda x: acc.add(1))
+        assert acc.value == 20
+
+    def test_custom_op_accumulator(self, mode_ctx):
+        # Regression: the op must travel to process workers — a stub
+        # falling back to + would turn max into a sum.
+        acc = mode_ctx.accumulator(0, op=max, name="maximum")
+        mode_ctx.parallelize([3, 9, 1, 7], 4).foreach(lambda x: acc.add(x))
+        assert acc.value == 9
+
+    def test_mutable_zero_accumulator(self, mode_ctx):
+        acc = mode_ctx.accumulator([], op=lambda a, b: a + b)
+        mode_ctx.parallelize([1, 2, 3], 3).foreach(lambda x: acc.add([x]))
+        assert sorted(acc.value) == [1, 2, 3]
+
+    def test_numpy_records(self, mode_ctx):
+        arrays = mode_ctx.parallelize([np.arange(5), np.arange(5, 10)], 2)
+        assert arrays.map(lambda a: float(a.sum())).sum() == 45.0
+
+    def test_join(self, mode_ctx):
+        left = mode_ctx.parallelize([(1, "a"), (2, "b")], 2)
+        right = mode_ctx.parallelize([(2, "x")], 1)
+        assert dict(left.join(right).collect()) == {2: ("b", "x")}
+
+    def test_sort(self, mode_ctx):
+        data = [7, 2, 9, 4, 1]
+        assert mode_ctx.parallelize(data, 3).sort_by(lambda x: x).collect() == sorted(data)
+
+    def test_tree_aggregate(self, mode_ctx):
+        out = mode_ctx.range(256, num_partitions=8).tree_aggregate(
+            0, lambda a, x: a + x, lambda a, b: a + b, depth=2
+        )
+        assert out == 32640
+
+    def test_closures_capture_locals(self, mode_ctx):
+        factor = 7
+        offset = 3
+        out = mode_ctx.range(5, num_partitions=2).map(lambda x: x * factor + offset).collect()
+        assert out == [3, 10, 17, 24, 31]
+
+    def test_nested_function_closure(self, mode_ctx):
+        def make_adder(n):
+            def add(x):
+                return x + n
+
+            return add
+
+        out = mode_ctx.range(4, num_partitions=2).map(make_adder(100)).collect()
+        assert out == [100, 101, 102, 103]
+
+
+class TestProcessModeSpecifics:
+    def test_exception_propagates(self, process_ctx):
+        from repro.engine.errors import TaskFailedError
+
+        def boom(x):
+            raise ValueError("worker-side failure")
+
+        with pytest.raises(TaskFailedError):
+            process_ctx.range(4, num_partitions=2).map(boom).collect()
+
+    def test_worker_isolation_no_driver_mutation(self, process_ctx):
+        # Mutations to a driver list inside tasks stay in the worker fork.
+        shared = []
+        process_ctx.range(4, num_partitions=2).map(lambda x: shared.append(x)).collect()
+        assert shared == []
+
+    def test_shuffle_via_payload(self, process_ctx):
+        pairs = process_ctx.parallelize([(i % 3, 1) for i in range(12)], 3)
+        out = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert out == {0: 4, 1: 4, 2: 4}
+
+    def test_chained_shuffles(self, process_ctx):
+        out = (
+            process_ctx.parallelize([(i % 3, i) for i in range(12)], 3)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: (kv[0] % 2, kv[1]))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert dict(out) == {0: 18 + 26, 1: 22}

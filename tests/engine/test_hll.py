@@ -1,0 +1,79 @@
+"""HyperLogLog approximate distinct counting."""
+
+import numpy as np
+import pytest
+
+from repro.engine.hll import HyperLogLog, count_approx_distinct
+
+
+class TestHyperLogLog:
+    def test_empty_is_zero(self):
+        assert HyperLogLog().cardinality() == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_exact_via_linear_counting(self):
+        hll = HyperLogLog(12)
+        hll.add_all(range(50))
+        assert hll.cardinality() == pytest.approx(50, abs=2)
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(12)
+        for _ in range(100):
+            hll.add_all(range(20))
+        assert hll.cardinality() == pytest.approx(20, abs=2)
+
+    @pytest.mark.parametrize("true_count", [1_000, 20_000])
+    def test_within_expected_error(self, true_count):
+        hll = HyperLogLog(12)
+        hll.add_all(f"item-{i}" for i in range(true_count))
+        err = abs(hll.cardinality() - true_count) / true_count
+        assert err < 5 * hll.relative_error()  # 5 sigma
+
+    def test_merge_equals_union(self):
+        a, b = HyperLogLog(10), HyperLogLog(10)
+        a.add_all(range(0, 600))
+        b.add_all(range(400, 1000))  # overlap 400..600
+        a.merge(b)
+        union = HyperLogLog(10).add_all(range(1000))
+        assert a.cardinality() == pytest.approx(union.cardinality(), rel=1e-9)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)
+        with pytest.raises(ValueError):
+            HyperLogLog(17)
+
+    def test_hash_stable_across_types(self):
+        hll = HyperLogLog(8)
+        hll.add("x").add("x").add(("x",))
+        assert hll.cardinality() == pytest.approx(2, abs=1)
+
+    def test_pickles(self):
+        import pickle
+
+        hll = HyperLogLog(8).add_all(range(100))
+        clone = pickle.loads(pickle.dumps(hll))
+        assert clone.cardinality() == hll.cardinality()
+
+
+class TestRDDCountApproxDistinct:
+    def test_matches_exact_for_small(self, ctx):
+        rdd = ctx.parallelize([i % 80 for i in range(2000)], 8)
+        approx = rdd.count_approx_distinct()
+        assert approx == pytest.approx(80, abs=3)
+
+    def test_large_within_error(self, ctx):
+        rdd = ctx.range(30_000, num_partitions=8).map(lambda x: x // 2)
+        approx = rdd.count_approx_distinct(precision=12)
+        assert abs(approx - 15_000) / 15_000 < 0.1
+
+    def test_function_form(self, ctx):
+        rdd = ctx.parallelize(list("abcabc"), 3)
+        assert count_approx_distinct(rdd, precision=10) == pytest.approx(3, abs=1)
+
+    def test_works_in_process_mode(self, process_ctx):
+        rdd = process_ctx.parallelize([i % 40 for i in range(400)], 2)
+        assert rdd.count_approx_distinct() == pytest.approx(40, abs=2)

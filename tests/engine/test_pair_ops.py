@@ -1,0 +1,193 @@
+"""Key-value (shuffle) operations."""
+
+import pytest
+
+from repro.engine import HashPartitioner
+
+
+class TestReduceByKey:
+    def test_basic(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        assert dict(pairs.reduce_by_key(lambda x, y: x + y).collect()) == {"a": 4, "b": 2}
+
+    def test_single_value_keys(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(10)], 3)
+        assert dict(pairs.reduce_by_key(lambda x, y: x + y).collect()) == {i: i for i in range(10)}
+
+    def test_num_partitions_respected(self, ctx):
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(30)], 4)
+        out = pairs.reduce_by_key(lambda x, y: x + y, num_partitions=2)
+        assert out.num_partitions == 2
+        assert dict(out.collect()) == {0: 10, 1: 10, 2: 10}
+
+    def test_large_cardinality(self, ctx):
+        pairs = ctx.range(1000, num_partitions=8).map(lambda x: (x % 100, 1))
+        counts = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert all(counts[k] == 10 for k in range(100))
+
+
+class TestCombineAggregateFold:
+    def test_combine_by_key(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+        out = pairs.combine_by_key(
+            create=lambda v: [v],
+            merge_value=lambda acc, v: acc + [v],
+            merge_combiners=lambda a, b: a + b,
+        )
+        result = {k: sorted(v) for k, v in out.collect()}
+        assert result == {"a": [1, 2], "b": [3]}
+
+    def test_combine_without_map_side(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2)], 2)
+        out = pairs.combine_by_key(
+            lambda v: v, lambda a, v: a + v, lambda a, b: a + b, map_side_combine=False
+        )
+        assert dict(out.collect()) == {"a": 3}
+
+    def test_aggregate_by_key_mutable_zero(self, ctx):
+        pairs = ctx.parallelize([("x", 1), ("x", 2), ("y", 9)], 3)
+        out = pairs.aggregate_by_key(
+            [], lambda acc, v: acc + [v], lambda a, b: sorted(a + b)
+        )
+        result = {k: sorted(v) for k, v in out.collect()}
+        assert result == {"x": [1, 2], "y": [9]}
+
+    def test_aggregate_zero_not_shared_between_keys(self, ctx):
+        # A buggy implementation reusing one mutable zero across keys
+        # would leak values between them.
+        pairs = ctx.parallelize([("a", 1), ("b", 2)], 1)
+        out = dict(
+            pairs.aggregate_by_key([], lambda acc, v: acc + [v], lambda a, b: a + b).collect()
+        )
+        assert out == {"a": [1], "b": [2]}
+
+    def test_fold_by_key(self, ctx):
+        pairs = ctx.parallelize([(1, 2), (1, 3), (2, 4)], 2)
+        assert dict(pairs.fold_by_key(0, lambda a, b: a + b).collect()) == {1: 5, 2: 4}
+
+
+class TestGroupByKey:
+    def test_basic(self, ctx):
+        pairs = ctx.parallelize([("k", i) for i in range(5)], 3)
+        out = dict(pairs.group_by_key().collect())
+        assert sorted(out["k"]) == [0, 1, 2, 3, 4]
+
+    def test_multiple_keys(self, ctx):
+        pairs = ctx.parallelize([(i % 2, i) for i in range(6)], 2)
+        out = {k: sorted(v) for k, v in pairs.group_by_key().collect()}
+        assert out == {0: [0, 2, 4], 1: [1, 3, 5]}
+
+
+class TestMapValues:
+    def test_map_values(self, ctx):
+        pairs = ctx.parallelize([("a", 1)], 1)
+        assert pairs.map_values(lambda v: v * 10).collect() == [("a", 10)]
+
+    def test_flat_map_values(self, ctx):
+        pairs = ctx.parallelize([("a", 2)], 1)
+        assert pairs.flat_map_values(range).collect() == [("a", 0), ("a", 1)]
+
+    def test_keys_values(self, ctx):
+        pairs = ctx.parallelize([(1, "x"), (2, "y")], 2)
+        assert pairs.keys().collect() == [1, 2]
+        assert pairs.values().collect() == ["x", "y"]
+
+    def test_map_values_preserves_partitioner(self, ctx):
+        part = HashPartitioner(3)
+        pairs = ctx.parallelize([(i, i) for i in range(9)], 2).partition_by(part)
+        mapped = pairs.map_values(lambda v: v + 1)
+        assert mapped.partitioner == part
+
+
+class TestJoins:
+    def test_inner_join(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b"), (3, "c")], 2)
+        right = ctx.parallelize([(2, "x"), (3, "y"), (4, "z")], 2)
+        out = dict(left.join(right).collect())
+        assert out == {2: ("b", "x"), 3: ("c", "y")}
+
+    def test_inner_join_cartesian_per_key(self, ctx):
+        left = ctx.parallelize([(1, "a"), (1, "b")], 2)
+        right = ctx.parallelize([(1, "x"), (1, "y")], 2)
+        out = sorted(left.join(right).values().collect())
+        assert out == [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+    def test_left_outer_join(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        right = ctx.parallelize([(1, "x")], 1)
+        out = dict(left.left_outer_join(right).collect())
+        assert out == {1: ("a", "x"), 2: ("b", None)}
+
+    def test_right_outer_join(self, ctx):
+        left = ctx.parallelize([(1, "a")], 1)
+        right = ctx.parallelize([(1, "x"), (5, "q")], 2)
+        out = dict(left.right_outer_join(right).collect())
+        assert out == {1: ("a", "x"), 5: (None, "q")}
+
+    def test_full_outer_join(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        right = ctx.parallelize([(2, "x"), (3, "y")], 2)
+        out = dict(left.full_outer_join(right).collect())
+        assert out == {1: ("a", None), 2: ("b", "x"), 3: (None, "y")}
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([(1, "a"), (1, "b")], 2)
+        right = ctx.parallelize([(1, "x"), (2, "y")], 2)
+        out = dict(left.cogroup(right).collect())
+        assert sorted(out[1][0]) == ["a", "b"]
+        assert out[1][1] == ["x"]
+        assert out[2] == ([], ["y"])
+
+
+class TestPartitionBy:
+    def test_partitioner_set(self, ctx):
+        part = HashPartitioner(4)
+        pairs = ctx.parallelize([(i, i) for i in range(16)], 2).partition_by(part)
+        assert pairs.partitioner == part
+        assert pairs.num_partitions == 4
+
+    def test_no_reshuffle_when_compatible(self, ctx):
+        part = HashPartitioner(3)
+        pairs = ctx.parallelize([(i, i) for i in range(9)], 2).partition_by(part)
+        again = pairs.partition_by(HashPartitioner(3))
+        assert again is pairs
+
+    def test_keys_land_in_hash_partition(self, ctx):
+        part = HashPartitioner(4)
+        pairs = ctx.parallelize([(i, i) for i in range(20)], 3).partition_by(part)
+        for pid, records in enumerate(pairs.glom().collect()):
+            for k, _v in records:
+                assert part.partition(k) == pid
+
+    def test_join_reuses_partitioning(self, ctx):
+        # A pre-partitioned side cogroups narrowly: its partitioner is
+        # adopted by the join output.
+        part = HashPartitioner(3)
+        left = ctx.parallelize([(i, i) for i in range(9)], 2).partition_by(part)
+        right = ctx.parallelize([(i, -i) for i in range(9)], 2)
+        joined = left.join(right)
+        assert joined.num_partitions == 3
+        assert dict(joined.collect()) == {i: (i, -i) for i in range(9)}
+
+
+class TestCountLookup:
+    def test_count_by_key(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 1)], 2)
+        assert pairs.count_by_key() == {"a": 2, "b": 1}
+
+    def test_count_by_value(self, ctx):
+        assert ctx.parallelize([1, 1, 2], 2).count_by_value() == {1: 2, 2: 1}
+
+    def test_lookup_unpartitioned(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")], 3)
+        assert sorted(pairs.lookup(1)) == ["a", "c"]
+
+    def test_lookup_partitioned_targets_one_partition(self, ctx):
+        pairs = ctx.parallelize([(i, str(i)) for i in range(10)], 2).partition_by(
+            HashPartitioner(5)
+        )
+        assert pairs.lookup(7) == ["7"]
+
+    def test_lookup_missing_key(self, ctx):
+        pairs = ctx.parallelize([(1, "a")], 1)
+        assert pairs.lookup(99) == []

@@ -1,0 +1,160 @@
+"""Stage construction, shuffle reuse, caching, failure handling."""
+
+import pytest
+
+from repro.engine import Context
+from repro.engine.dag import build_stages
+from repro.engine.errors import TaskFailedError
+
+
+class TestStageGraph:
+    def test_narrow_only_single_stage(self, ctx):
+        rdd = ctx.range(10, num_partitions=2).map(lambda x: x).filter(lambda x: True)
+        final = build_stages(rdd)
+        assert final.kind == "result"
+        assert final.parents == []
+
+    def test_one_shuffle_two_stages(self, ctx):
+        rdd = ctx.parallelize([(1, 1)], 1).reduce_by_key(lambda a, b: a + b)
+        final = build_stages(rdd)
+        assert len(final.parents) == 1
+        assert final.parents[0].kind == "shuffle-map"
+
+    def test_chained_shuffles(self, ctx):
+        rdd = (
+            ctx.parallelize([(1, 1), (2, 2)], 2)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: (kv[1], kv[0]))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        final = build_stages(rdd)
+        assert len(final.parents) == 1
+        assert len(final.parents[0].parents) == 1
+
+    def test_join_has_two_parent_stages(self, ctx):
+        left = ctx.parallelize([(1, "a")], 1)
+        right = ctx.parallelize([(1, "b")], 1)
+        final = build_stages(left.join(right))
+        # join = cogroup (2 shuffle deps) then narrow flat_map_values
+        assert len(final.parents) == 2
+
+
+class TestShuffleReuse:
+    def test_shuffle_materialized_once(self):
+        with Context(mode="serial") as ctx:
+            reduced = ctx.parallelize([(i % 3, 1) for i in range(9)], 3).reduce_by_key(
+                lambda a, b: a + b
+            )
+            first = dict(reduced.collect())
+            jobs_before = len(ctx.metrics.jobs)
+            second = dict(reduced.collect())
+            last_job = ctx.metrics.jobs[-1]
+            assert first == second == {0: 3, 1: 3, 2: 3}
+            # Second collect skips the map stage: only the result stage runs.
+            assert len(ctx.metrics.jobs) == jobs_before + 1
+            assert len(last_job.stages) == 1
+
+    def test_cached_rdd_not_recomputed(self):
+        with Context(mode="serial") as ctx:
+            acc = ctx.accumulator(0)
+
+            def tap(x):
+                acc.add(1)
+                return x
+
+            cached = ctx.range(10, num_partitions=2).map(tap).cache()
+            cached.count()
+            cached.sum()
+            # Second action reads the cache: tap ran only once per record.
+            assert acc.value == 10
+
+    def test_unpersist_forces_recompute(self):
+        with Context(mode="serial") as ctx:
+            acc = ctx.accumulator(0)
+
+            def tap(x):
+                acc.add(1)
+                return x
+
+            cached = ctx.range(5, num_partitions=1).map(tap).cache()
+            cached.count()
+            cached.unpersist()
+            cached.count()
+            assert acc.value == 10
+
+
+class TestFailureHandling:
+    def test_deterministic_failure_aborts(self):
+        with Context(mode="serial", max_task_retries=1) as ctx:
+
+            def boom(x):
+                raise RuntimeError("kaboom")
+
+            with pytest.raises(TaskFailedError) as exc_info:
+                ctx.range(4, num_partitions=2).map(boom).collect()
+            assert exc_info.value.attempts == 2
+
+    def test_flaky_task_retried_to_success(self):
+        with Context(mode="serial", max_task_retries=2) as ctx:
+            attempts = {"n": 0}
+
+            def flaky_partition(i, it):
+                attempts["n"] += 1
+                if attempts["n"] < 2:
+                    raise RuntimeError("transient")
+                return list(it)
+
+            out = ctx.range(4, num_partitions=1).map_partitions_with_index(
+                flaky_partition
+            ).collect()
+            assert out == [0, 1, 2, 3]
+            assert attempts["n"] == 2
+
+    def test_retry_does_not_double_count_accumulators(self):
+        with Context(mode="serial", max_task_retries=3) as ctx:
+            acc = ctx.accumulator(0)
+            attempts = {"n": 0}
+
+            def flaky(i, it):
+                for x in it:
+                    acc.add(1)
+                attempts["n"] += 1
+                if attempts["n"] < 3:
+                    raise RuntimeError("transient")
+                return [0]
+
+            ctx.range(6, num_partitions=1).map_partitions_with_index(flaky).collect()
+            # Only the successful attempt's deltas are merged.
+            assert acc.value == 6
+
+
+class TestContextLifecycle:
+    def test_stopped_context_rejects_jobs(self):
+        ctx = Context(mode="serial")
+        rdd = ctx.range(4)
+        ctx.stop()
+        from repro.engine.errors import ContextStoppedError
+
+        with pytest.raises(ContextStoppedError):
+            rdd.collect()
+
+    def test_stop_idempotent(self):
+        ctx = Context(mode="serial")
+        ctx.stop()
+        ctx.stop()
+
+    def test_context_manager(self):
+        with Context(mode="serial") as ctx:
+            assert ctx.range(3).count() == 3
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Context(mode="gpu")
+
+    def test_metrics_recorded_per_job(self):
+        with Context(mode="serial") as ctx:
+            ctx.range(10, num_partitions=4).sum()
+            job = ctx.metrics.last()
+            assert job is not None
+            assert job.num_tasks == 4
+            assert job.wall_s > 0

@@ -1,0 +1,85 @@
+"""Broadcast variables and accumulators."""
+
+import pytest
+
+from repro.engine.broadcast import Broadcast
+
+
+class TestBroadcast:
+    def test_value_visible_in_tasks(self, ctx):
+        bc = ctx.broadcast([10, 20, 30])
+        out = ctx.range(3, num_partitions=3).map(lambda i: bc.value[i]).collect()
+        assert out == [10, 20, 30]
+
+    def test_large_object(self, ctx):
+        bc = ctx.broadcast({i: i * i for i in range(1000)})
+        assert ctx.range(10, num_partitions=2).map(lambda i: bc.value[i]).sum() == 285
+
+    def test_destroy_blocks_access(self, ctx):
+        bc = ctx.broadcast("x")
+        bc.destroy()
+        with pytest.raises(ValueError):
+            _ = bc.value
+
+    def test_unique_ids(self):
+        assert Broadcast(1).id != Broadcast(1).id
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        bc = Broadcast({"a": 1})
+        clone = pickle.loads(pickle.dumps(bc))
+        assert clone.value == {"a": 1}
+        assert clone.id == bc.id
+
+
+class TestAccumulator:
+    def test_sum_accumulator(self, ctx):
+        acc = ctx.accumulator(0)
+        ctx.range(100, num_partitions=8).foreach(lambda x: acc.add(1))
+        assert acc.value == 100
+
+    def test_custom_op(self, ctx):
+        acc = ctx.accumulator(0, op=max, name="maximum")
+        ctx.parallelize([3, 9, 1], 3).foreach(lambda x: acc.add(x))
+        assert acc.value == 9
+
+    def test_list_accumulator(self, ctx):
+        acc = ctx.accumulator([], op=lambda a, b: a + b)
+        ctx.parallelize([1, 2, 3], 2).foreach(lambda x: acc.add([x]))
+        assert sorted(acc.value) == [1, 2, 3]
+
+    def test_driver_side_add(self, ctx):
+        acc = ctx.accumulator(10)
+        acc.add(5)
+        assert acc.value == 15
+
+    def test_reset(self, ctx):
+        acc = ctx.accumulator(0)
+        acc.add(3)
+        acc.reset()
+        assert acc.value == 0
+
+    def test_multiple_accumulators_one_job(self, ctx):
+        count = ctx.accumulator(0)
+        total = ctx.accumulator(0)
+
+        def visit(x):
+            count.add(1)
+            total.add(x)
+
+        ctx.range(10, num_partitions=3).foreach(visit)
+        assert count.value == 10
+        assert total.value == 45
+
+    def test_updates_in_map_apply_once_per_action(self, ctx):
+        # Accumulator updates inside transformations fire once per job run.
+        acc = ctx.accumulator(0)
+
+        def tap(x):
+            acc.add(1)
+            return x
+
+        rdd = ctx.range(10, num_partitions=2).map(tap)
+        rdd.count()
+        assert acc.value == 10

@@ -1,0 +1,123 @@
+"""Partitioners and the shuffle manager."""
+
+import pytest
+
+from repro.engine.errors import ShuffleFetchError
+from repro.engine.shuffle import (
+    HashPartitioner,
+    LocalShuffleFetcher,
+    PayloadShuffleFetcher,
+    RangePartitioner,
+    ShuffleManager,
+)
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        part = HashPartitioner(4)
+        assert all(0 <= part.partition(k) < 4 for k in range(100))
+
+    def test_deterministic(self):
+        part = HashPartitioner(8)
+        assert part.partition("key") == part.partition("key")
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_ascending_split(self):
+        part = RangePartitioner([10, 20])
+        assert part.num_partitions == 3
+        assert part.partition(5) == 0
+        assert part.partition(10) == 0
+        assert part.partition(15) == 1
+        assert part.partition(25) == 2
+
+    def test_descending(self):
+        part = RangePartitioner([10], ascending=False)
+        assert part.partition(5) == 1
+        assert part.partition(50) == 0
+
+    def test_order_preserved(self):
+        part = RangePartitioner([3, 7, 11])
+        keys = list(range(15))
+        pids = [part.partition(k) for k in keys]
+        assert pids == sorted(pids)
+
+    def test_equality_includes_bounds(self):
+        assert RangePartitioner([1, 2]) == RangePartitioner([1, 2])
+        assert RangePartitioner([1, 2]) != RangePartitioner([1, 3])
+        assert RangePartitioner([1]) != HashPartitioner(2)
+
+
+class TestShuffleManager:
+    def test_put_fetch_round_trip(self):
+        mgr = ShuffleManager()
+        sid = mgr.new_shuffle_id()
+        mgr.expect(sid, 2)
+        mgr.put(sid, 0, [[("a", 1)], [("b", 2)]])
+        mgr.put(sid, 1, [[("a", 3)], []])
+        assert sorted(mgr.fetch(sid, 0)) == [("a", 1), ("a", 3)]
+        assert list(mgr.fetch(sid, 1)) == [("b", 2)]
+
+    def test_materialized_tracking(self):
+        mgr = ShuffleManager()
+        sid = mgr.new_shuffle_id()
+        mgr.expect(sid, 2)
+        assert not mgr.is_materialized(sid)
+        mgr.put(sid, 0, [[]])
+        assert not mgr.is_materialized(sid)
+        mgr.put(sid, 1, [[]])
+        assert mgr.is_materialized(sid)
+
+    def test_unknown_shuffle_raises(self):
+        mgr = ShuffleManager()
+        with pytest.raises(ShuffleFetchError):
+            list(mgr.fetch(99, 0))
+
+    def test_remove(self):
+        mgr = ShuffleManager()
+        sid = mgr.new_shuffle_id()
+        mgr.expect(sid, 1)
+        mgr.put(sid, 0, [[("k", 1)]])
+        mgr.remove(sid)
+        assert not mgr.is_materialized(sid)
+
+    def test_unique_ids(self):
+        mgr = ShuffleManager()
+        ids = {mgr.new_shuffle_id() for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_stats(self):
+        mgr = ShuffleManager()
+        sid = mgr.new_shuffle_id()
+        mgr.expect(sid, 1)
+        mgr.put(sid, 0, [[("a", 1), ("b", 2)]])
+        stats = mgr.stats()
+        assert stats["shuffles"] == 1
+        assert stats["records"] == 2
+
+
+class TestFetchers:
+    def test_local_fetcher(self):
+        mgr = ShuffleManager()
+        sid = mgr.new_shuffle_id()
+        mgr.expect(sid, 1)
+        mgr.put(sid, 0, [[(1, "x")]])
+        fetcher = LocalShuffleFetcher(mgr)
+        assert list(fetcher.fetch(sid, 0)) == [(1, "x")]
+
+    def test_payload_fetcher(self):
+        fetcher = PayloadShuffleFetcher({(3, 1): [("k", "v")]})
+        assert list(fetcher.fetch(3, 1)) == [("k", "v")]
+
+    def test_payload_fetcher_missing(self):
+        fetcher = PayloadShuffleFetcher({})
+        with pytest.raises(ShuffleFetchError):
+            fetcher.fetch(0, 0)

@@ -1,0 +1,41 @@
+"""Optimal Dorfman pool sizing (the classic 1/√p rule)."""
+
+import math
+
+import pytest
+
+from repro.halving.policy import DorfmanPolicy
+
+
+class TestOptimalFor:
+    @pytest.mark.parametrize(
+        "prevalence,expected",
+        [(0.01, 11), (0.05, 5), (0.10, 4), (0.30, 3)],
+    )
+    def test_known_optima(self, prevalence, expected):
+        assert DorfmanPolicy.optimal_for(prevalence).pool_size == expected
+
+    def test_tracks_sqrt_rule(self):
+        for p in (0.005, 0.02, 0.08):
+            m = DorfmanPolicy.optimal_for(p).pool_size
+            assert abs(m - (1 / math.sqrt(p) + 1)) <= 2
+
+    def test_lower_prevalence_bigger_pools(self):
+        assert (
+            DorfmanPolicy.optimal_for(0.005).pool_size
+            > DorfmanPolicy.optimal_for(0.05).pool_size
+        )
+
+    def test_respects_max_pool_size(self):
+        assert DorfmanPolicy.optimal_for(0.0005, max_pool_size=16).pool_size <= 16
+
+    def test_is_true_argmin_over_scan_range(self):
+        p = 0.03
+        chosen = DorfmanPolicy.optimal_for(p, max_pool_size=40).pool_size
+        costs = {m: 1 / m + 1 - (1 - p) ** m for m in range(2, 41)}
+        assert chosen == min(costs, key=costs.get)
+
+    @pytest.mark.parametrize("prevalence", [0.0, 1.0, -0.1])
+    def test_invalid_prevalence(self, prevalence):
+        with pytest.raises(ValueError):
+            DorfmanPolicy.optimal_for(prevalence)

@@ -1,0 +1,69 @@
+"""Public API stability: every advertised name resolves and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.engine",
+    "repro.lattice",
+    "repro.bayes",
+    "repro.halving",
+    "repro.sbgt",
+    "repro.baseline",
+    "repro.simulate",
+    "repro.metrics",
+    "repro.workflows",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), f"{package} has no __all__"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_public_docstrings(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and mod.__doc__.strip(), f"{package} lacks a module docstring"
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__ and obj.__doc__.strip(), (
+                    f"{package}.{name} lacks a docstring"
+                )
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_quickstart_surface(self):
+        # The exact names the README quickstart uses must exist at top level.
+        for name in (
+            "Context",
+            "PriorSpec",
+            "DilutionErrorModel",
+            "SBGTSession",
+            "BHAPolicy",
+            "run_screen",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestScreenSummary:
+    def test_summary_keys_and_values(self):
+        from repro import BHAPolicy, PerfectTest, PriorSpec, run_screen
+
+        result = run_screen(PriorSpec.uniform(8, 0.1), PerfectTest(), BHAPolicy(), rng=1)
+        s = result.summary()
+        assert s["n_items"] == 8
+        assert s["accuracy"] == 1.0
+        assert s["tests"] == result.efficiency.num_tests
+        assert isinstance(s["exhausted_budget"], bool)

@@ -1,0 +1,144 @@
+"""Lattice contraction inside SBGT sessions."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import DilutionErrorModel, PerfectTest
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import BHAPolicy, LookaheadPolicy
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.sbgt.session import SBGTSession
+from repro.simulate.population import make_cohort
+
+
+@pytest.fixture
+def prior():
+    return PriorSpec.sampled(9, 0.08, rng=17)
+
+
+@pytest.fixture
+def model():
+    return DilutionErrorModel(0.98, 0.995, 0.3)
+
+
+class TestDistributedProjection:
+    def test_parity_with_serial(self, ctx, prior):
+        from repro.lattice.ops import marginals, project_out_bit
+
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        dl.project_out_bit(3, True)
+        reference = project_out_bit(space, 3, True)
+        assert dl.n_items == 8
+        assert dl.num_states() == reference.size
+        assert np.allclose(dl.marginals(), marginals(reference), atol=1e-10)
+        dl.unpersist()
+
+    def test_repeated_projection_shrinks(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        dl.project_out_bit(0, False)
+        dl.project_out_bit(0, False)
+        assert dl.n_items == 7
+        assert dl.num_states() == 128
+        dl.unpersist()
+
+    def test_invalid_bit(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 2)
+        with pytest.raises(ValueError):
+            dl.project_out_bit(99, True)
+        dl.unpersist()
+
+
+class TestSettle:
+    def test_settle_fixes_marginal(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        session.settle(4, True)
+        m = session.marginals()
+        assert m[4] == 1.0
+        assert session.lattice.n_items == 8
+        assert session.num_live == 8
+        session.close()
+
+    def test_settled_excluded_from_pools(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        session.settle(2, False)
+        with pytest.raises(ValueError):
+            session.update([2, 3], False)
+        session.close()
+
+    def test_update_in_original_indices_after_settle(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, PerfectTest())
+        session.settle(0, False)
+        session.update([5, 6], False)  # original indices
+        m = session.marginals()
+        assert np.allclose(m[[5, 6]], 0.0, atol=1e-12)
+        session.close()
+
+    def test_double_settle_rejected(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        session.settle(1, True)
+        with pytest.raises(ValueError):
+            session.settle(1, False)
+        session.close()
+
+    def test_map_state_includes_settled_positive(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        session.settle(3, True)
+        assert session.map_state() & (1 << 3)
+        session.close()
+
+    def test_settle_everyone(self, ctx, model):
+        prior = PriorSpec.uniform(3, 0.1)
+        session = SBGTSession(ctx, prior, model)
+        session.settle(0, False)
+        session.settle(1, True)
+        session.settle(2, False)
+        assert session.num_live == 0
+        assert np.allclose(session.marginals(), [0.0, 1.0, 0.0])
+        session.close()
+
+
+class TestCompactScreens:
+    @pytest.mark.parametrize(
+        "policy_factory", [BHAPolicy, lambda: LookaheadPolicy(2)], ids=["bha", "lookahead"]
+    )
+    def test_compact_matches_plain_classifications(self, ctx, prior, model, policy_factory):
+        cohort = make_cohort(prior, rng=31)
+        plain = SBGTSession(ctx, prior, model, SBGTConfig(max_stages=50))
+        r_plain = plain.run_screen(policy_factory(), rng=7, cohort=cohort)
+        plain.close()
+        compact = SBGTSession(
+            ctx, prior, model, SBGTConfig(max_stages=50, compact_classified=True)
+        )
+        r_compact = compact.run_screen(policy_factory(), rng=7, cohort=cohort)
+        # Compaction *commits* settled diagnoses, so the plain run may
+        # spend extra tests on individuals whose marginals drift back
+        # across a threshold; the final classifications must agree, the
+        # exact test counts need not (compact can only be <= here).
+        assert r_compact.report.statuses == r_plain.report.statuses
+        assert r_compact.efficiency.num_tests <= r_plain.efficiency.num_tests
+        compact.close()
+
+    def test_lattice_actually_shrinks(self, ctx, model):
+        prior = PriorSpec.uniform(10, 0.05)
+        session = SBGTSession(
+            ctx, prior, PerfectTest(), SBGTConfig(compact_classified=True)
+        )
+        result = session.run_screen(BHAPolicy(), rng=12)
+        assert result.report.all_classified
+        assert session.num_live <= 1
+        assert len(session._index.settled) >= 9
+        session.close()
+
+    def test_compact_with_pruning(self, ctx, model):
+        prior = PriorSpec.uniform(10, 0.05)
+        session = SBGTSession(
+            ctx,
+            prior,
+            model,
+            SBGTConfig(max_stages=60, compact_classified=True, prune_epsilon=1e-9),
+        )
+        result = session.run_screen(BHAPolicy(), rng=13)
+        assert result.confusion.n_items == 10
+        session.close()

@@ -1,0 +1,240 @@
+"""DistributedLattice parity with the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel, DilutionErrorModel
+from repro.bayes.posterior import Posterior
+from repro.bayes.priors import PriorSpec
+from repro.lattice.builder import build_restricted_prior
+from repro.lattice.ops import entropy, map_state, marginals, top_states
+from repro.sbgt.distributed_lattice import DistributedLattice
+
+
+@pytest.fixture
+def prior():
+    return PriorSpec(np.array([0.05, 0.2, 0.1, 0.3, 0.15, 0.08]))
+
+
+@pytest.fixture
+def model():
+    return DilutionErrorModel(0.97, 0.99, 0.35)
+
+
+class TestConstruction:
+    def test_from_prior_matches_serial(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        collected = dl.collect()
+        assert np.array_equal(np.sort(collected.masks), np.sort(space.masks))
+        assert np.allclose(dl.marginals(), marginals(space), atol=1e-10)
+        dl.unpersist()
+
+    def test_num_states(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        assert dl.num_states() == 64
+        dl.unpersist()
+
+    def test_block_count_capped(self, ctx):
+        small = PriorSpec.uniform(2, 0.1)
+        dl = DistributedLattice.from_prior(ctx, small, 100)
+        assert dl.num_blocks <= 4
+        dl.unpersist()
+
+    def test_too_many_items_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            DistributedLattice.from_prior(ctx, PriorSpec.uniform(31, 0.01))
+
+    def test_from_restricted_prior(self, ctx):
+        prior = PriorSpec.uniform(12, 0.03)
+        dl, log_disc = DistributedLattice.from_restricted_prior(ctx, prior, 3, 4)
+        space, log_disc_serial = build_restricted_prior(prior.risks, 3)
+        assert dl.num_states() == space.size
+        assert np.allclose(dl.marginals(), marginals(space), atol=1e-10)
+        assert log_disc == pytest.approx(log_disc_serial, abs=1e-6)
+        dl.unpersist()
+
+    def test_from_state_space(self, ctx, prior):
+        space = prior.build_dense()
+        dl = DistributedLattice.from_state_space(ctx, space, 3)
+        assert np.allclose(dl.marginals(), marginals(space), atol=1e-10)
+        dl.unpersist()
+
+
+class TestUpdate:
+    def test_update_matches_serial(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        post = Posterior.from_prior(prior, model)
+        for pool, outcome in [(0b000111, True), (0b111000, False), (0b000011, True)]:
+            size = bin(pool).count("1")
+            ll = model.log_likelihood_by_count(outcome, size)
+            dl.update(pool, ll)
+            post.update(pool, outcome)
+            assert np.allclose(dl.marginals(), post.marginals(), atol=1e-10)
+        dl.unpersist()
+
+    def test_log_predictive_matches_serial(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        post = Posterior.from_prior(prior, model)
+        ll = model.log_likelihood_by_count(True, 3)
+        log_pred = dl.update(0b000111, ll)
+        rec = post.update(0b000111, True)
+        assert log_pred == pytest.approx(rec.log_predictive, abs=1e-10)
+        dl.unpersist()
+
+    def test_entropy_matches(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        post = Posterior.from_prior(prior, model)
+        assert dl.entropy() == pytest.approx(post.entropy(), abs=1e-9)
+        dl.unpersist()
+
+    def test_impossible_outcome_raises(self, ctx):
+        from repro.bayes.dilution import PerfectTest
+
+        prior = PriorSpec.uniform(3, 0.1)
+        model = PerfectTest()
+        dl = DistributedLattice.from_prior(ctx, prior, 2)
+        ll_neg = model.log_likelihood_by_count(False, 2)
+        ll_pos = model.log_likelihood_by_count(True, 2)
+        dl.update(0b011, ll_neg)
+        # Same pool now testing positive is (numerically) impossible but
+        # the clamped log-zero keeps it finite; mass collapses instead.
+        dl.update(0b011, ll_pos)
+        assert np.isfinite(dl.entropy())
+        dl.unpersist()
+
+
+class TestAnalyses:
+    def test_top_states_match(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        d_top = dl.top_states(5)
+        s_top = top_states(space, 5)
+        assert [m for m, _ in d_top] == [m for m, _ in s_top]
+        assert np.allclose([p for _, p in d_top], [p for _, p in s_top], atol=1e-10)
+        dl.unpersist()
+
+    def test_map_state_matches(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        assert dl.map_state() == map_state(prior.build_dense())
+        dl.unpersist()
+
+    def test_down_set_masses_match(self, ctx, prior):
+        from repro.halving.bha import down_set_masses
+
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        pools = np.array([0b000001, 0b000111, 0b111111], dtype=np.uint64)
+        assert np.allclose(
+            dl.down_set_masses(pools), down_set_masses(space, pools), atol=1e-10
+        )
+        dl.unpersist()
+
+    def test_count_distribution_matches(self, ctx, prior):
+        from repro.lattice.ops import pool_count_distribution
+
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        assert np.allclose(
+            dl.count_distribution(0b001011),
+            pool_count_distribution(space, 0b001011),
+            atol=1e-10,
+        )
+        dl.unpersist()
+
+
+class TestManipulation:
+    def test_condition_matches_serial(self, ctx, prior):
+        from repro.lattice.ops import condition_on_classification
+
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        space = prior.build_dense()
+        dl.condition(positive_mask=0b000001, negative_mask=0b000010)
+        expected = condition_on_classification(space, 0b000001, 0b000010)
+        assert dl.num_states() == expected.size
+        assert np.allclose(dl.marginals(), marginals(expected), atol=1e-10)
+        dl.unpersist()
+
+    def test_condition_conflict_raises(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 2)
+        with pytest.raises(ValueError):
+            dl.condition(positive_mask=0b1, negative_mask=0b1)
+        dl.unpersist()
+
+    def test_prune_respects_epsilon(self, ctx):
+        prior = PriorSpec.uniform(10, 0.02)
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        stats = dl.prune(1e-4)
+        assert stats.dropped_mass <= 1e-4 + 1e-9
+        assert stats.kept_states + stats.dropped_states == 1024
+        assert dl.num_states() == stats.kept_states
+        dl.unpersist()
+
+    def test_prune_zero_epsilon_noop(self, ctx, prior):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        stats = dl.prune(0.0)
+        assert stats.dropped_states == 0
+        dl.unpersist()
+
+    def test_prune_keeps_marginals_close(self, ctx):
+        prior = PriorSpec.uniform(10, 0.02)
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        before = dl.marginals()
+        dl.prune(1e-6)
+        assert np.allclose(dl.marginals(), before, atol=1e-4)
+        dl.unpersist()
+
+    def test_rebalance_preserves_distribution(self, ctx):
+        prior = PriorSpec.uniform(9, 0.05)
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        dl.prune(1e-5)
+        before = dl.marginals()
+        dl.rebalance(3)
+        assert np.allclose(dl.marginals(), before, atol=1e-10)
+        dl.unpersist()
+
+
+class TestCheckpointing:
+    def test_lineage_bounded_by_checkpoint_interval(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        dl.checkpoint_interval = 4
+        ll = model.log_likelihood_by_count(False, 2)
+        for _ in range(9):  # crosses two checkpoints
+            dl.update(0b000011, ll)
+        # Just after a checkpoint cycle the lineage is shallow: the rdd
+        # chain cannot be deeper than 2 map nodes per un-checkpointed
+        # update plus the source.
+        depth = dl.rdd.debug_string().count("\n") + 1
+        assert depth <= 2 * 4 + 1
+        dl.unpersist()
+
+    def test_checkpoint_preserves_distribution(self, ctx, prior, model):
+        dl = DistributedLattice.from_prior(ctx, prior, 4)
+        dl.checkpoint_interval = 3
+        post = Posterior.from_prior(prior, model)
+        ll = model.log_likelihood_by_count(True, 3)
+        for _ in range(7):
+            dl.update(0b000111, ll)
+            post.update(0b000111, True)
+        assert np.allclose(dl.marginals(), post.marginals(), atol=1e-9)
+        dl.unpersist()
+
+
+class TestAcrossModes:
+    def test_serial_mode_parity(self, serial_ctx, prior, model):
+        dl = DistributedLattice.from_prior(serial_ctx, prior, 3)
+        post = Posterior.from_prior(prior, model)
+        ll = model.log_likelihood_by_count(True, 2)
+        dl.update(0b000011, ll)
+        post.update(0b000011, True)
+        assert np.allclose(dl.marginals(), post.marginals(), atol=1e-10)
+        dl.unpersist()
+
+    def test_process_mode_parity(self, process_ctx, prior, model):
+        dl = DistributedLattice.from_prior(process_ctx, prior, 2)
+        post = Posterior.from_prior(prior, model)
+        ll = model.log_likelihood_by_count(False, 3)
+        dl.update(0b000111, ll)
+        post.update(0b000111, False)
+        assert np.allclose(dl.marginals(), post.marginals(), atol=1e-10)
+        dl.unpersist()

@@ -1,0 +1,97 @@
+"""Rank-restricted sessions: cohorts beyond dense lattice reach."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel, PerfectTest
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import BHAPolicy
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.session import SBGTSession
+from repro.simulate.population import Cohort
+
+
+class TestRestrictedSession:
+    def test_support_size(self, ctx):
+        prior = PriorSpec.uniform(20, 0.02)
+        session = SBGTSession(ctx, prior, PerfectTest(), SBGTConfig(max_positives=3))
+        assert session.lattice.num_states() == 1 + 20 + 190 + 1140
+        session.close()
+
+    def test_discarded_prior_exposed(self, ctx):
+        prior = PriorSpec.uniform(20, 0.02)
+        session = SBGTSession(ctx, prior, PerfectTest(), SBGTConfig(max_positives=3))
+        from scipy.stats import binom
+
+        expected = 1.0 - binom.cdf(3, 20, prior.risks[0])
+        assert np.exp(session.log_discarded_prior) == pytest.approx(expected, rel=1e-6)
+        session.close()
+
+    def test_dense_session_reports_no_discard(self, ctx):
+        prior = PriorSpec.uniform(6, 0.05)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        assert session.log_discarded_prior == -np.inf
+        session.close()
+
+    def test_initial_marginals_close_to_risks(self, ctx):
+        prior = PriorSpec.uniform(18, 0.03)
+        session = SBGTSession(ctx, prior, PerfectTest(), SBGTConfig(max_positives=4))
+        # Restriction renormalises: marginals shrink slightly but stay close.
+        assert np.allclose(session.marginals(), 0.03, atol=0.005)
+        session.close()
+
+    def test_large_cohort_screen_finds_positives(self, ctx):
+        prior = PriorSpec.uniform(24, 0.04)
+        cohort = Cohort(prior, truth_mask=(1 << 5) | (1 << 17))
+        session = SBGTSession(
+            ctx,
+            prior,
+            BinaryErrorModel(0.99, 0.995),
+            SBGTConfig(max_positives=5, max_stages=80, compact_classified=True),
+        )
+        result = session.run_screen(BHAPolicy(), rng=6, cohort=cohort)
+        assert result.report.positives() == [5, 17]
+        assert result.accuracy == 1.0
+        assert result.tests_per_individual < 1.0
+        session.close()
+
+    def test_restricted_agrees_with_dense_when_cap_loose(self, ctx):
+        # A cap covering the whole lattice must reproduce the dense prior.
+        prior = PriorSpec.uniform(8, 0.1)
+        dense = SBGTSession(ctx, prior, PerfectTest())
+        restricted = SBGTSession(ctx, prior, PerfectTest(), SBGTConfig(max_positives=8))
+        assert np.allclose(dense.marginals(), restricted.marginals(), atol=1e-10)
+        dense.close()
+        restricted.close()
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            SBGTConfig(max_positives=0)
+
+    def test_restricted_plus_compaction(self, ctx):
+        """Contraction on a rank-restricted support stays consistent."""
+        prior = PriorSpec.uniform(18, 0.03)
+        session = SBGTSession(
+            ctx,
+            prior,
+            PerfectTest(),
+            SBGTConfig(max_positives=4, compact_classified=True, max_stages=80),
+        )
+        result = session.run_screen(BHAPolicy(), rng=14)
+        assert result.report.all_classified
+        assert result.accuracy == 1.0
+        assert session.num_live <= 1
+        session.close()
+
+    def test_restricted_plus_pruning(self, ctx):
+        prior = PriorSpec.uniform(16, 0.04)
+        session = SBGTSession(
+            ctx,
+            prior,
+            BinaryErrorModel(0.99, 0.995),
+            SBGTConfig(max_positives=4, prune_epsilon=1e-9, max_stages=80),
+        )
+        result = session.run_screen(BHAPolicy(), rng=15)
+        assert result.confusion.n_items == 16
+        assert result.accuracy >= 0.9
+        session.close()

@@ -1,0 +1,36 @@
+"""SBGTConfig validation."""
+
+import pytest
+
+from repro.sbgt.config import SBGTConfig
+
+
+class TestSBGTConfig:
+    def test_defaults_valid(self):
+        cfg = SBGTConfig()
+        assert cfg.prune_epsilon == 0.0
+        assert cfg.positive_threshold == 0.99
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_blocks": -1},
+            {"prune_epsilon": 1.0},
+            {"prune_epsilon": -0.1},
+            {"prune_interval": 0},
+            {"positive_threshold": 0.5, "negative_threshold": 0.6},
+            {"max_stages": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SBGTConfig(**kwargs)
+
+    def test_with_replaces(self):
+        cfg = SBGTConfig().with_(prune_epsilon=0.01)
+        assert cfg.prune_epsilon == 0.01
+        assert cfg.max_stages == 50
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SBGTConfig().max_stages = 3

@@ -1,0 +1,133 @@
+"""SBGTSession: full distributed screens and serial agreement."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import DilutionErrorModel, PerfectTest
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import (
+    BHAPolicy,
+    DorfmanPolicy,
+    IndividualTestingPolicy,
+    InformationGainPolicy,
+    LookaheadPolicy,
+)
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.session import SBGTSession
+from repro.simulate.population import make_cohort
+from repro.workflows.classify import run_screen
+
+
+@pytest.fixture
+def prior():
+    return PriorSpec.sampled(9, 0.07, rng=5)
+
+
+@pytest.fixture
+def model():
+    return DilutionErrorModel(0.98, 0.995, 0.3)
+
+
+class TestSessionBasics:
+    def test_initial_marginals_equal_prior(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        assert np.allclose(session.marginals(), prior.risks, atol=1e-10)
+        session.close()
+
+    def test_update_invalidates_marginal_cache(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        before = session.marginals().copy()
+        session.update([0, 1], True)
+        assert not np.allclose(session.marginals(), before)
+        session.close()
+
+    def test_update_accepts_indices_and_masks(self, ctx, prior, model):
+        s1 = SBGTSession(ctx, prior, model)
+        s2 = SBGTSession(ctx, prior, model)
+        s1.update([0, 2], False)
+        s2.update(0b101, False)
+        assert np.allclose(s1.marginals(), s2.marginals(), atol=1e-12)
+        s1.close()
+        s2.close()
+
+    def test_empty_pool_rejected(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        with pytest.raises(ValueError):
+            session.update(0, False)
+        session.close()
+
+    def test_evidence_log_populated(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model)
+        session.begin_stage()
+        session.update([0, 1, 2], False)
+        assert session.num_tests == 1
+        assert session.log.records[0].stage == 1
+        session.close()
+
+    def test_entropy_tracking_config(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model, SBGTConfig(track_entropy=True))
+        rec = session.update([0], False)
+        assert rec.entropy_before is not None and rec.entropy_after is not None
+        session.close()
+
+
+class TestSerialAgreement:
+    """Distributed screens must replay the serial reference exactly."""
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            BHAPolicy,
+            lambda: LookaheadPolicy(2),
+            IndividualTestingPolicy,
+            lambda: DorfmanPolicy(3),
+            InformationGainPolicy,
+        ],
+        ids=["bha", "lookahead", "individual", "dorfman", "infogain"],
+    )
+    def test_full_screen_matches_serial(self, ctx, prior, model, policy_factory):
+        cohort = make_cohort(prior, rng=21)
+        serial = run_screen(
+            prior, model, policy_factory(), rng=77, cohort=cohort, max_stages=40
+        )
+        session = SBGTSession(ctx, prior, model, SBGTConfig(max_stages=40))
+        dist = session.run_screen(policy_factory(), rng=77, cohort=cohort)
+        assert dist.efficiency.num_tests == serial.efficiency.num_tests
+        assert dist.stages_used == serial.stages_used
+        assert dist.report.statuses == serial.report.statuses
+        assert np.allclose(dist.report.marginals, serial.report.marginals, atol=1e-8)
+        session.close()
+
+    def test_screen_with_pruning_still_accurate(self, ctx, model):
+        prior = PriorSpec.uniform(10, 0.05)
+        cohort = make_cohort(prior, rng=3)
+        session = SBGTSession(
+            ctx, prior, model, SBGTConfig(prune_epsilon=1e-9, max_stages=40)
+        )
+        result = session.run_screen(BHAPolicy(), rng=4, cohort=cohort)
+        assert result.accuracy == 1.0
+        session.close()
+
+    def test_perfect_test_classifies_everyone(self, ctx):
+        prior = PriorSpec.uniform(8, 0.1)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        result = session.run_screen(BHAPolicy(), rng=0)
+        assert result.report.all_classified
+        assert result.accuracy == 1.0
+        assert not result.exhausted_budget
+        session.close()
+
+    def test_budget_exhaustion_reported(self, ctx, prior, model):
+        session = SBGTSession(ctx, prior, model, SBGTConfig(max_stages=1))
+        result = session.run_screen(BHAPolicy(), rng=11)
+        assert result.stages_used <= 1
+        if not result.report.all_classified:
+            assert result.exhausted_budget
+        session.close()
+
+    def test_efficiency_beats_individual_at_low_prevalence(self, ctx):
+        prior = PriorSpec.uniform(12, 0.02)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        bha = session.run_screen(BHAPolicy(), rng=9)
+        assert bha.tests_per_individual < 1.0
+        session.close()

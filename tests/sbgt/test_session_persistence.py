@@ -1,0 +1,85 @@
+"""SBGT session checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import BHAPolicy
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.session import SBGTSession
+
+
+@pytest.fixture
+def prior():
+    return PriorSpec.sampled(8, 0.1, rng=12)
+
+
+@pytest.fixture
+def model():
+    return BinaryErrorModel(0.96, 0.99)
+
+
+class TestSessionPersistence:
+    def test_round_trip_preserves_belief_and_log(self, ctx, prior, model, tmp_path):
+        session = SBGTSession(ctx, prior, model)
+        session.begin_stage()
+        session.update([0, 1, 2], True)
+        session.update([3, 4], False)
+        path = tmp_path / "session.npz"
+        session.save(path)
+        restored = SBGTSession.load(ctx, path, prior, model)
+        assert np.allclose(restored.marginals(), session.marginals(), atol=1e-10)
+        assert restored.num_tests == session.num_tests
+        assert restored.log.log_evidence == pytest.approx(session.log.log_evidence)
+        session.close()
+        restored.close()
+
+    def test_restored_session_continues_identically(self, ctx, prior, model, tmp_path):
+        a = SBGTSession(ctx, prior, model)
+        a.update([0, 1], True)
+        path = tmp_path / "mid.npz"
+        a.save(path)
+        b = SBGTSession.load(ctx, path, prior, model)
+        a.update([2, 3], False)
+        b.update([2, 3], False)
+        assert np.allclose(a.marginals(), b.marginals(), atol=1e-10)
+        a.close()
+        b.close()
+
+    def test_stage_counter_continues(self, ctx, prior, model, tmp_path):
+        session = SBGTSession(ctx, prior, model)
+        session.begin_stage()
+        session.begin_stage()
+        path = tmp_path / "s.npz"
+        session.save(path)
+        restored = SBGTSession.load(ctx, path, prior, model)
+        assert restored.begin_stage() == 3
+        session.close()
+        restored.close()
+
+    def test_restored_screen_runs(self, ctx, prior, model, tmp_path):
+        session = SBGTSession(ctx, prior, model, SBGTConfig(max_stages=40))
+        session.update([0, 1, 2, 3], False)
+        path = tmp_path / "resume.npz"
+        session.save(path)
+        session.close()
+        restored = SBGTSession.load(ctx, path, prior, model, SBGTConfig(max_stages=40))
+        result = restored.run_screen(BHAPolicy(), rng=5)
+        assert result.confusion.n_items == 8
+        restored.close()
+
+    def test_contracted_session_rejected(self, ctx, prior, model, tmp_path):
+        session = SBGTSession(ctx, prior, model)
+        session.settle(0, False)
+        with pytest.raises(ValueError):
+            session.save(tmp_path / "x.npz")
+        session.close()
+
+    def test_cohort_size_mismatch_rejected(self, ctx, prior, model, tmp_path):
+        session = SBGTSession(ctx, prior, model)
+        path = tmp_path / "m.npz"
+        session.save(path)
+        session.close()
+        with pytest.raises(ValueError):
+            SBGTSession.load(ctx, path, PriorSpec.uniform(5, 0.1), model)

@@ -1,0 +1,55 @@
+"""SIR dynamics and surveillance prior streams."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.epidemic import sir_prevalence, surveillance_priors
+
+
+class TestSirPrevalence:
+    def test_length(self):
+        assert sir_prevalence(30).shape == (30,)
+
+    def test_starts_at_i0(self):
+        assert sir_prevalence(10, i0=0.005)[0] == pytest.approx(0.005)
+
+    def test_valid_fractions(self):
+        series = sir_prevalence(200, beta=0.4, gamma=0.05, i0=0.01)
+        assert np.all(series >= 0) and np.all(series <= 1)
+
+    def test_epidemic_wave_shape(self):
+        series = sir_prevalence(300, beta=0.3, gamma=0.1, i0=0.001)
+        peak = series.argmax()
+        assert 0 < peak < 299  # rises then falls
+        assert series[peak] > series[0]
+        assert series[-1] < series[peak]
+
+    def test_no_transmission_decays(self):
+        series = sir_prevalence(50, beta=0.0, gamma=0.2, i0=0.1)
+        assert np.all(np.diff(series) <= 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sir_prevalence(0)
+        with pytest.raises(ValueError):
+            sir_prevalence(10, beta=-1)
+
+
+class TestSurveillancePriors:
+    def test_one_prior_per_day(self):
+        series = sir_prevalence(5)
+        days = list(surveillance_priors(series, cohort_size=6, rng=0))
+        assert [d for d, _p in days] == [0, 1, 2, 3, 4]
+        assert all(p.n_items == 6 for _d, p in days)
+
+    def test_risks_track_prevalence(self):
+        series = np.array([0.01, 0.3])
+        days = list(surveillance_priors(series, cohort_size=2000, dispersion=50, rng=0))
+        assert days[0][1].risks.mean() < days[1][1].risks.mean()
+
+    def test_deterministic(self):
+        series = sir_prevalence(3)
+        a = [p.risks for _d, p in surveillance_priors(series, 5, rng=9)]
+        b = [p.risks for _d, p in surveillance_priors(series, 5, rng=9)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)

@@ -1,0 +1,126 @@
+"""Line-list generation and the covariate risk model."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.linelist import (
+    LogisticRiskModel,
+    PersonRecord,
+    generate_line_list,
+    line_list_to_prior,
+)
+
+
+def make_record(**overrides) -> PersonRecord:
+    base = dict(
+        person_id=0,
+        age_band=1,
+        symptomatic=False,
+        known_exposure=False,
+        days_since_exposure=-1,
+        vaccinated=False,
+        household_size=2,
+    )
+    base.update(overrides)
+    return PersonRecord(**base)
+
+
+class TestLogisticRiskModel:
+    def test_risk_is_probability(self):
+        model = LogisticRiskModel()
+        assert 0.0 < model.risk(make_record()) < 1.0
+
+    def test_symptoms_raise_risk(self):
+        model = LogisticRiskModel()
+        assert model.risk(make_record(symptomatic=True)) > model.risk(make_record())
+
+    def test_exposure_raises_risk(self):
+        model = LogisticRiskModel()
+        assert model.risk(
+            make_record(known_exposure=True, days_since_exposure=1)
+        ) > model.risk(make_record())
+
+    def test_risk_decays_with_days_since_exposure(self):
+        model = LogisticRiskModel()
+        fresh = model.risk(make_record(known_exposure=True, days_since_exposure=0))
+        stale = model.risk(make_record(known_exposure=True, days_since_exposure=9))
+        assert fresh > stale
+
+    def test_vaccination_protects(self):
+        model = LogisticRiskModel()
+        assert model.risk(make_record(vaccinated=True)) < model.risk(make_record())
+
+    def test_age_gradient(self):
+        model = LogisticRiskModel()
+        young = model.risk(make_record(age_band=0))
+        old = model.risk(make_record(age_band=3))
+        assert old > young
+
+    def test_household_size_raises_risk(self):
+        model = LogisticRiskModel()
+        assert model.risk(make_record(household_size=6)) > model.risk(
+            make_record(household_size=1)
+        )
+
+    def test_vector_matches_scalar(self):
+        model = LogisticRiskModel()
+        records = [make_record(person_id=i, symptomatic=i % 2 == 0) for i in range(5)]
+        vec = model.risks(records)
+        assert np.allclose(vec, [model.risk(r) for r in records])
+
+
+class TestGenerateLineList:
+    def test_count_and_ids(self):
+        records = generate_line_list(50, rng=0)
+        assert len(records) == 50
+        assert [r.person_id for r in records] == list(range(50))
+
+    def test_deterministic(self):
+        a = generate_line_list(20, rng=7)
+        b = generate_line_list(20, rng=7)
+        assert a == b
+
+    def test_exposure_rate_roughly_respected(self):
+        records = generate_line_list(4000, rng=1, exposure_rate=0.3)
+        rate = sum(r.known_exposure for r in records) / 4000
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_symptoms_correlate_with_exposure(self):
+        records = generate_line_list(6000, rng=2)
+        exposed = [r for r in records if r.known_exposure]
+        unexposed = [r for r in records if not r.known_exposure]
+        rate_e = sum(r.symptomatic for r in exposed) / len(exposed)
+        rate_u = sum(r.symptomatic for r in unexposed) / len(unexposed)
+        assert rate_e > rate_u * 1.5
+
+    def test_days_since_exposure_consistency(self):
+        for r in generate_line_list(200, rng=3):
+            if r.known_exposure:
+                assert 0 <= r.days_since_exposure < 10
+            else:
+                assert r.days_since_exposure == -1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_line_list(0)
+
+
+class TestLineListToPrior:
+    def test_end_to_end_prior(self):
+        records = generate_line_list(12, rng=4)
+        prior = line_list_to_prior(records)
+        assert prior.n_items == 12
+        assert np.all(prior.risks > 0) and np.all(prior.risks < 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_list_to_prior([])
+
+    def test_screening_from_line_list(self):
+        from repro.bayes.dilution import BinaryErrorModel
+        from repro.halving.policy import BHAPolicy
+        from repro.workflows.classify import run_screen
+
+        prior = line_list_to_prior(generate_line_list(10, rng=5))
+        result = run_screen(prior, BinaryErrorModel(0.99, 0.995), BHAPolicy(), rng=6)
+        assert result.confusion.n_items == 10

@@ -1,0 +1,31 @@
+"""Scenario presets."""
+
+import pytest
+
+from repro.bayes.dilution import ResponseModel
+from repro.simulate.scenario import SCENARIOS, get_scenario
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_build(self, name):
+        prior, model = get_scenario(name).build(8, rng=0)
+        assert prior.n_items == 8
+        assert isinstance(model, ResponseModel)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("marsbase")
+
+    def test_outbreak_has_high_risk_tier(self):
+        prior, _ = get_scenario("outbreak").build(8, rng=0)
+        assert prior.risks.max() > 0.2
+        assert prior.risks.min() < 0.05
+
+    def test_community_low_uniform(self):
+        prior, _ = get_scenario("community").build(10, rng=0)
+        assert prior.risks.max() == pytest.approx(0.02)
+
+    def test_hospital_continuous_model(self):
+        _, model = get_scenario("hospital").build(4, rng=0)
+        assert model.binary is False

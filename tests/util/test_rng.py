@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(42).integers(1000) == as_rng(42).integers(1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 2**31, size=8)
+        draws_b = as_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not-an-rng")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_deterministic_from_seed(self):
+        first = [g.integers(1000) for g in spawn_rngs(99, 3)]
+        second = [g.integers(1000) for g in spawn_rngs(99, 3)]
+        assert first == second

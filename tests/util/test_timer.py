@@ -1,0 +1,54 @@
+"""Tests for the timing helpers."""
+
+import time
+
+from repro.util.timer import Timer, WallClock
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestWallClock:
+    def test_record_and_total(self):
+        clock = WallClock()
+        clock.record("update", 1.0)
+        clock.record("update", 2.0)
+        assert clock.total("update") == 3.0
+        assert clock.count("update") == 2
+        assert clock.mean("update") == 1.5
+
+    def test_unknown_label_zero(self):
+        clock = WallClock()
+        assert clock.total("missing") == 0.0
+        assert clock.count("missing") == 0
+        assert clock.mean("missing") == 0.0
+
+    def test_context_manager_times(self):
+        clock = WallClock()
+        with clock.time("op"):
+            time.sleep(0.005)
+        assert clock.count("op") == 1
+        assert clock.total("op") > 0.0
+
+    def test_merge(self):
+        a, b = WallClock(), WallClock()
+        a.record("x", 1.0)
+        b.record("x", 2.0)
+        b.record("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == 3.0
+        assert a.total("y") == 3.0
+
+    def test_report_structure(self):
+        clock = WallClock()
+        clock.record("a", 2.0)
+        rep = clock.report()
+        assert rep["a"]["total_s"] == 2.0
+        assert rep["a"]["count"] == 1.0

@@ -1,0 +1,66 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    check_probability_array,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_probability(2.0, "myarg")
+
+
+class TestCheckProbabilityArray:
+    def test_valid(self):
+        out = check_probability_array([0.1, 0.9])
+        assert out.dtype == np.float64
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            check_probability_array([])
+
+    @pytest.mark.parametrize("values", [[-0.1], [1.5], [float("nan")]])
+    def test_invalid_values(self, values):
+        with pytest.raises(ValueError):
+            check_probability_array(values)
+
+
+class TestCheckPositiveInt:
+    @pytest.mark.parametrize("value", [1, 7, 10**9])
+    def test_valid(self, value):
+        assert check_positive_int(value) == value
+
+    @pytest.mark.parametrize("value", [0, -3, 1.5])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value)
+
+
+class TestCheckInRange:
+    def test_valid(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+
+    def test_bounds_inclusive(self):
+        assert check_in_range(0.0, 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, 0.0, 1.0) == 1.0
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_in_range(value, 0.0, 1.0)

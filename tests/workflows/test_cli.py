@@ -1,0 +1,101 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_screen_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.cohort == 16
+        assert args.assay == "dilution"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", "--policy", "magic"])
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("bha", "bha"),
+            ("lookahead-2", "lookahead-2"),
+            ("infogain", "infogain"),
+            ("dorfman-4", "dorfman-4"),
+            ("individual", "individual"),
+            ("array-3x4", "array-3x4"),
+            ("hybrid", "hybrid-auto"),
+            ("hybrid-6", "hybrid-6"),
+        ],
+    )
+    def test_policy_names(self, name, expected):
+        args = build_parser().parse_args(["screen", "--policy", name])
+        assert args.policy.name == expected
+
+    def test_array_policy_dimensions(self):
+        args = build_parser().parse_args(["screen", "--policy", "array-2x5"])
+        assert args.policy.rows == 2
+        assert args.policy.cols == 5
+
+    def test_hybrid_pool_size(self):
+        args = build_parser().parse_args(["screen", "--policy", "hybrid-6"])
+        assert args.policy.pool_size == 6
+
+
+class TestCommands:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "community" in out and "outbreak" in out and "hospital" in out
+
+    def test_screen_runs(self, capsys):
+        rc = main(
+            ["screen", "--cohort", "8", "--prevalence", "0.05", "--seed", "1",
+             "--assay", "perfect", "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tests/individual" in out
+        assert "accuracy" in out
+
+    def test_screen_with_scenario_and_compaction(self, capsys):
+        rc = main(
+            ["screen", "--scenario", "outbreak", "--cohort", "8", "--seed", "2",
+             "--compact", "--workers", "2"]
+        )
+        assert rc == 0
+        assert "Screen (bha)" in capsys.readouterr().out
+
+    def test_screen_cohort_bound(self, capsys):
+        assert main(["screen", "--cohort", "40"]) == 2
+        assert "must be in [1, 24]" in capsys.readouterr().err
+
+    def test_calculator_runs(self, capsys):
+        rc = main(
+            ["calculator", "--prevalences", "0.01", "0.2", "--replications", "2",
+             "--cohort", "8", "--assay", "binary", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "1.0%" in out
+
+    def test_surveillance_runs(self, capsys):
+        rc = main(["surveillance", "--days", "3", "--cohort", "6", "--assay",
+                   "perfect", "--seed", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out
+
+    def test_screen_deterministic(self, capsys):
+        argv = ["screen", "--cohort", "8", "--seed", "7", "--assay", "binary",
+                "--workers", "2"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second

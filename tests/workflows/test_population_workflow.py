@@ -1,0 +1,96 @@
+"""Population-scale (multi-cohort) screening."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel, PerfectTest
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import BHAPolicy
+from repro.simulate.population import make_cohort
+from repro.workflows.population import (
+    screen_population,
+    split_into_cohorts,
+)
+
+
+class TestSplitIntoCohorts:
+    def test_sizes(self):
+        priors = split_into_cohorts(np.full(25, 0.05), 8)
+        assert [p.n_items for p in priors] == [8, 8, 8, 1]
+
+    def test_exact_division(self):
+        priors = split_into_cohorts(np.full(16, 0.05), 8)
+        assert [p.n_items for p in priors] == [8, 8]
+
+    def test_risk_sorting_stratifies(self):
+        risks = np.array([0.5, 0.01, 0.4, 0.02, 0.45, 0.03])
+        priors = split_into_cohorts(risks, 3)
+        assert priors[0].risks.max() < priors[1].risks.min()
+
+    def test_unsorted_preserves_order(self):
+        risks = np.array([0.5, 0.01, 0.4])
+        priors = split_into_cohorts(risks, 3, sort_by_risk=False)
+        assert np.allclose(priors[0].risks, risks)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            split_into_cohorts(np.array([]), 4)
+        with pytest.raises(ValueError):
+            split_into_cohorts(np.full(4, 0.1), 0)
+
+
+class TestScreenPopulation:
+    def test_all_cohorts_screened(self, ctx):
+        priors = split_into_cohorts(np.full(30, 0.03), 10)
+        result = screen_population(ctx, priors, PerfectTest(), BHAPolicy, rng=0)
+        assert len(result.screens) == 3
+        assert result.total_individuals == 30
+        assert result.overall_accuracy == 1.0
+
+    def test_deterministic_given_seed(self, ctx):
+        priors = split_into_cohorts(np.full(20, 0.05), 10)
+        a = screen_population(ctx, priors, PerfectTest(), BHAPolicy, rng=7)
+        b = screen_population(ctx, priors, PerfectTest(), BHAPolicy, rng=7)
+        assert a.total_tests == b.total_tests
+        assert a.found_positives() == b.found_positives()
+
+    def test_fixed_cohorts_respected(self, ctx):
+        priors = [PriorSpec.uniform(6, 0.05), PriorSpec.uniform(6, 0.05)]
+        cohorts = [make_cohort(p, rng=i) for i, p in enumerate(priors)]
+        result = screen_population(
+            ctx, priors, PerfectTest(), BHAPolicy, rng=1, cohorts=cohorts
+        )
+        truth_positives = []
+        for c_i, cohort in enumerate(cohorts):
+            truth_positives.extend(6 * c_i + i for i in cohort.positives())
+        assert result.found_positives() == truth_positives
+
+    def test_mismatched_cohorts_rejected(self, ctx):
+        priors = [PriorSpec.uniform(4, 0.1)]
+        with pytest.raises(ValueError):
+            screen_population(ctx, priors, PerfectTest(), BHAPolicy, cohorts=[])
+
+    def test_empty_priors_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            screen_population(ctx, [], PerfectTest(), BHAPolicy)
+
+    def test_max_stages_is_slowest_cohort(self, ctx):
+        priors = split_into_cohorts(np.full(24, 0.08), 8)
+        result = screen_population(
+            ctx, priors, BinaryErrorModel(0.98, 0.99), BHAPolicy, rng=5
+        )
+        assert result.max_stages == max(s.stages_used for s in result.screens)
+
+    def test_savings_at_scale(self, ctx):
+        priors = split_into_cohorts(np.full(60, 0.02), 12)
+        result = screen_population(
+            ctx, priors, BinaryErrorModel(0.99, 0.995), BHAPolicy, rng=3,
+            negative_threshold=0.002,
+        )
+        assert result.tests_per_individual < 0.6
+
+    def test_process_mode(self, process_ctx):
+        priors = split_into_cohorts(np.full(12, 0.05), 6)
+        result = screen_population(process_ctx, priors, PerfectTest(), BHAPolicy, rng=2)
+        assert result.total_individuals == 12
+        assert result.overall_accuracy == 1.0

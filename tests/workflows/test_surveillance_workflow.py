@@ -1,0 +1,91 @@
+"""Longitudinal surveillance campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import PerfectTest
+from repro.halving.policy import BHAPolicy
+from repro.workflows.surveillance import run_surveillance
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_surveillance(
+        PerfectTest(), BHAPolicy, days=6, cohort_size=8, rng=0, max_stages=30
+    )
+
+
+class TestSurveillance:
+    def test_one_outcome_per_day(self, campaign):
+        assert len(campaign.days) == 6
+        assert [d.day for d in campaign.days] == list(range(6))
+
+    def test_totals_consistent(self, campaign):
+        assert campaign.total_individuals == 48
+        assert campaign.total_tests == sum(
+            d.result.efficiency.num_tests for d in campaign.days
+        )
+
+    def test_series_shapes(self, campaign):
+        assert campaign.prevalence_series().shape == (6,)
+        assert campaign.tests_per_individual_series().shape == (6,)
+        assert campaign.accuracy_series().shape == (6,)
+
+    def test_perfect_test_perfect_accuracy(self, campaign):
+        assert np.all(campaign.accuracy_series() == 1.0)
+
+    def test_detection_bookkeeping(self, campaign):
+        assert campaign.detected_positives() == campaign.true_positives_present()
+
+    def test_explicit_prevalence_series(self):
+        prev = np.array([0.01, 0.2])
+        campaign = run_surveillance(
+            PerfectTest(), BHAPolicy, cohort_size=6, rng=1, prevalence=prev
+        )
+        assert len(campaign.days) == 2
+        assert campaign.days[1].prevalence == pytest.approx(0.2)
+
+    def test_estimated_prevalence_tracks_truth(self):
+        from repro.bayes.dilution import BinaryErrorModel
+        from repro.halving.policy import BHAPolicy
+        import numpy as np
+
+        model = BinaryErrorModel(0.98, 0.995)
+        prev = np.array([0.01, 0.01, 0.20, 0.20])
+        campaign = run_surveillance(
+            model, BHAPolicy, cohort_size=12, rng=5, prevalence=prev, dispersion=100
+        )
+        posteriors = campaign.estimated_prevalence_series(model, window=2)
+        assert len(posteriors) == 4
+        assert all(p is not None for p in posteriors)
+        # Estimated prevalence should rise with the step in truth.
+        assert posteriors[3].mean > posteriors[1].mean
+
+    def test_estimated_prevalence_window_smooths(self):
+        from repro.bayes.dilution import BinaryErrorModel
+        from repro.halving.policy import BHAPolicy
+        import numpy as np
+
+        model = BinaryErrorModel(0.98, 0.995)
+        campaign = run_surveillance(
+            model, BHAPolicy, cohort_size=10, rng=6,
+            prevalence=np.full(5, 0.05), dispersion=100,
+        )
+        narrow = campaign.estimated_prevalence_series(model, window=1)
+        wide = campaign.estimated_prevalence_series(model, window=5)
+        # Wider window = more data on the last day = tighter interval.
+        lo_n, hi_n = narrow[-1].credible_interval()
+        lo_w, hi_w = wide[-1].credible_interval()
+        assert (hi_w - lo_w) <= (hi_n - lo_n) + 1e-9
+
+    def test_cost_rises_with_prevalence(self):
+        # Screening at 1% vs 25% prevalence: pooling saves much more at 1%.
+        low = run_surveillance(
+            PerfectTest(), BHAPolicy, cohort_size=10, rng=3,
+            prevalence=np.full(4, 0.01), dispersion=100,
+        )
+        high = run_surveillance(
+            PerfectTest(), BHAPolicy, cohort_size=10, rng=3,
+            prevalence=np.full(4, 0.25), dispersion=100,
+        )
+        assert low.overall_tests_per_individual < high.overall_tests_per_individual
