@@ -32,10 +32,12 @@ from repro.halving.policy import BHAPolicy, DorfmanPolicy, IndividualTestingPoli
 from repro.lattice.ops import marginals as np_marginals
 from repro.lattice.ops import posterior_update
 from repro.metrics.reporting import format_table
+from repro.obs import PHASE_ANALYSIS, PHASE_LATTICE, PHASE_SELECTION, Tracer
 from repro.sbgt.distributed_lattice import DistributedLattice
 from repro.sbgt.selector import select_halving_pool_distributed
 from repro.simulate.population import make_cohort
 from repro.workflows.classify import run_screen
+from repro.workflows.options import ScreenOptions
 
 MODEL = DilutionErrorModel(0.98, 0.995, 0.35)
 
@@ -82,6 +84,18 @@ def _pool(n: int) -> int:
     return (1 << (n // 2)) - 1
 
 
+def traced_phase_wall(phase: str, fn: Callable[[], None], ctx: Context) -> float:
+    """Run *fn* once under a fresh tracer; return *phase*'s telemetry wall."""
+    tracer = Tracer()
+    tracer.attach(ctx)
+    try:
+        with tracer:
+            fn()
+    finally:
+        tracer.detach(ctx)
+    return tracer.phase_wall(phase)
+
+
 def _candidates(n: int) -> np.ndarray:
     return PrefixCandidates(max_pool_size=n).generate(np.full(n, 0.03), (1 << n) - 1)
 
@@ -114,6 +128,9 @@ def run_r1(cfg: dict, ctx: Context) -> str:
         t_build_sbgt = best_of(build_sbgt, cfg["repeats"])
         dl = DistributedLattice.from_prior(ctx, PriorSpec.uniform(n, 0.02), 8)
         t_sbgt = best_of(lambda: dl.update(pool, log_lik), cfg["repeats"])
+        t_phase = traced_phase_wall(
+            PHASE_LATTICE, lambda: dl.update(pool, log_lik), ctx
+        )
         dl.unpersist()
 
         # Manipulation-class speedup: build + update together, pydict/sbgt.
@@ -121,7 +138,17 @@ def run_r1(cfg: dict, ctx: Context) -> str:
         total_sbgt = t_build_sbgt + t_sbgt
         speedup = total_base / total_sbgt if np.isfinite(total_base) else float("nan")
         rows.append(
-            [n, states, t_build_base, t_base, t_np, t_build_sbgt, t_sbgt, f"{speedup:.0f}x"]
+            [
+                n,
+                states,
+                t_build_base,
+                t_base,
+                t_np,
+                t_build_sbgt,
+                t_sbgt,
+                t_phase,
+                f"{speedup:.0f}x",
+            ]
         )
     return format_table(
         [
@@ -132,6 +159,7 @@ def run_r1(cfg: dict, ctx: Context) -> str:
             "numpy update (s)",
             "sbgt build (s)",
             "sbgt update (s)",
+            "lattice-op wall (s)",
             "sbgt/pydict",
         ],
         rows,
@@ -156,12 +184,23 @@ def run_r2(cfg: dict, ctx: Context) -> str:
 
         dl = DistributedLattice.from_prior(ctx, PriorSpec.uniform(n, 0.03), 8)
         t_sbgt = best_of(lambda: select_halving_pool_distributed(dl, cands), cfg["repeats"])
+        t_phase = traced_phase_wall(
+            PHASE_SELECTION, lambda: select_halving_pool_distributed(dl, cands), ctx
+        )
         dl.unpersist()
 
         speedup = t_base / t_sbgt if np.isfinite(t_base) else float("nan")
-        rows.append([n, len(cands), t_base, t_np, t_sbgt, f"{speedup:.0f}x"])
+        rows.append([n, len(cands), t_base, t_np, t_sbgt, t_phase, f"{speedup:.0f}x"])
     return format_table(
-        ["n", "cands", "pydict (s)", "numpy (s)", "sbgt (s)", "sbgt/pydict"],
+        [
+            "n",
+            "cands",
+            "pydict (s)",
+            "numpy (s)",
+            "sbgt (s)",
+            "selection wall (s)",
+            "sbgt/pydict",
+        ],
         rows,
         title="R2 — test selection (Bayesian Halving over candidates)",
     )
@@ -184,12 +223,23 @@ def run_r3(cfg: dict, ctx: Context) -> str:
 
         dl = DistributedLattice.from_prior(ctx, PriorSpec.uniform(n, 0.05), 8)
         t_sbgt = best_of(lambda: (dl.marginals(), dl.entropy()), cfg["repeats"])
+        t_phase = traced_phase_wall(
+            PHASE_ANALYSIS, lambda: (dl.marginals(), dl.entropy()), ctx
+        )
         dl.unpersist()
 
         speedup = t_base / t_sbgt if np.isfinite(t_base) else float("nan")
-        rows.append([n, 1 << n, t_base, t_np, t_sbgt, f"{speedup:.0f}x"])
+        rows.append([n, 1 << n, t_base, t_np, t_sbgt, t_phase, f"{speedup:.0f}x"])
     return format_table(
-        ["n", "states", "pydict (s)", "numpy (s)", "sbgt (s)", "sbgt/pydict"],
+        [
+            "n",
+            "states",
+            "pydict (s)",
+            "numpy (s)",
+            "sbgt (s)",
+            "analysis wall (s)",
+            "sbgt/pydict",
+        ],
         rows,
         title="R3 — statistical analyses (marginals + entropy)",
     )
@@ -283,7 +333,7 @@ def run_r5(cfg: dict, _ctx: Context) -> str:
                 cohort = make_cohort(prior, rng=5000 + rep)
                 res = run_screen(
                     prior, model, factory(), rng=rng, cohort=cohort,
-                    max_stages=60, negative_threshold=neg_thr,
+                    options=ScreenOptions(max_stages=60, negative_threshold=neg_thr),
                 )
                 tpis.append(res.tests_per_individual)
                 accs.append(res.accuracy)
@@ -318,7 +368,10 @@ def run_r6(cfg: dict, _ctx: Context) -> str:
         stages, tests = [], []
         for rep in range(cfg["r6_reps"]):
             cohort = make_cohort(prior, rng=6000 + rep)
-            res = run_screen(prior, MODEL, factory(), rng=rng, cohort=cohort, max_stages=60)
+            res = run_screen(
+                prior, MODEL, factory(), rng=rng, cohort=cohort,
+                options=ScreenOptions(max_stages=60),
+            )
             stages.append(res.stages_used)
             tests.append(res.efficiency.num_tests)
         rows.append(
@@ -341,7 +394,10 @@ def run_r7(cfg: dict, _ctx: Context) -> str:
         accs, sens, tests = [], [], []
         for rep in range(cfg["r7_reps"]):
             cohort = make_cohort(prior, rng=7000 + rep)
-            res = run_screen(prior, model, BHAPolicy(), rng=rng, cohort=cohort, max_stages=80)
+            res = run_screen(
+                prior, model, BHAPolicy(), rng=rng, cohort=cohort,
+                options=ScreenOptions(max_stages=80),
+            )
             accs.append(res.accuracy)
             sens.append(res.confusion.sensitivity)
             tests.append(res.efficiency.num_tests)

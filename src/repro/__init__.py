@@ -46,9 +46,11 @@ from repro.halving import (
     PrefixCandidates,
     ExhaustiveCandidates,
 )
+from repro.engine import EngineListener, EventBus, RecordingListener
+from repro.obs import Tracer, trace_phase
 from repro.sbgt import SBGTSession, SBGTConfig, DistributedLattice, DistributedAnalyzer
 from repro.simulate import Cohort, make_cohort, TestLab, get_scenario
-from repro.workflows import run_screen, run_surveillance, pooling_calculator
+from repro.workflows import ScreenOptions, run_screen, run_surveillance, pooling_calculator
 
 __version__ = "1.0.0"
 
@@ -80,5 +82,11 @@ __all__ = [
     "run_screen",
     "run_surveillance",
     "pooling_calculator",
+    "ScreenOptions",
+    "EngineListener",
+    "EventBus",
+    "RecordingListener",
+    "Tracer",
+    "trace_phase",
     "__version__",
 ]

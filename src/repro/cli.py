@@ -6,7 +6,9 @@ runs:
 * ``screen``       — classify one simulated cohort and print the report;
 * ``calculator``   — the pool/don't-pool decision table over prevalences;
 * ``surveillance`` — a multi-day campaign over an SIR epidemic wave;
-* ``scenarios``    — list the named (prior, assay) presets.
+* ``scenarios``    — list the named (prior, assay) presets;
+* ``trace``        — summarize a JSONL trace captured with ``--trace``
+  (or :meth:`Tracer.dump_jsonl` / :meth:`MetricsRegistry.dump_jsonl`).
 
 Every command is deterministic given ``--seed``.
 """
@@ -14,6 +16,7 @@ Every command is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -104,6 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_screen.add_argument("--workers", type=int, default=4)
     p_screen.add_argument("--compact", action="store_true",
                           help="enable lattice contraction of settled diagnoses")
+    p_screen.add_argument("--trace", metavar="PATH", default=None,
+                          help="dump a phase-tagged JSONL trace of the screen")
     _add_assay_args(p_screen)
 
     p_calc = sub.add_parser("calculator", help="pool/don't-pool decision table")
@@ -125,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_assay_args(p_surv)
 
     sub.add_parser("scenarios", help="list named scenario presets")
+
+    p_trace = sub.add_parser("trace", help="summarize a dumped JSONL trace")
+    p_trace.add_argument("path", help="trace file written by --trace or dump_jsonl()")
     return parser
 
 
@@ -139,10 +147,28 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         model = _make_model(args)
     policy = args.policy if isinstance(args.policy, SelectionPolicy) else _make_policy(args.policy)
     config = SBGTConfig(max_stages=args.max_stages, compact_classified=args.compact)
-    with Context(mode="threads", parallelism=args.workers) as ctx:
-        session = SBGTSession(ctx, prior, model, config)
-        result = session.run_screen(policy, rng=args.seed)
-        session.close()
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer().install()
+    try:
+        with Context(mode="threads", parallelism=args.workers) as ctx:
+            if tracer is not None:
+                tracer.attach(ctx)
+            session = SBGTSession(ctx, prior, model, config)
+            result = session.run_screen(policy, rng=args.seed)
+            session.close()
+    finally:
+        if tracer is not None:
+            tracer.uninstall()
+    if tracer is not None:
+        try:
+            tracer.dump_jsonl(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+        else:
+            print(f"trace written to {args.trace}", file=sys.stderr)
     rows = [
         ["truly infected", str(result.cohort.positives())],
         ["called positive", str(result.report.positives())],
@@ -207,11 +233,92 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSON lines: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: {args.path} holds no records", file=sys.stderr)
+        return 2
+
+    by_kind: dict = {}
+    for rec in records:
+        by_kind.setdefault(rec.get("record", "?"), []).append(rec)
+
+    spans = by_kind.get("span", [])
+    if spans:
+        agg: dict = {}
+        for s in spans:
+            key = (s["phase"], s.get("label", ""))
+            cnt, wall, self_s = agg.get(key, (0, 0.0, 0.0))
+            agg[key] = (cnt + 1, wall + s["wall_s"], self_s + s.get("self_s", s["wall_s"]))
+        rows = [
+            [phase, label, cnt, f"{wall:.4f}", f"{self_s:.4f}"]
+            for (phase, label), (cnt, wall, self_s) in sorted(
+                agg.items(), key=lambda kv: -kv[1][2]
+            )
+        ]
+        print(format_table(
+            ["phase", "label", "spans", "wall (s)", "self (s)"], rows,
+            title="Phase spans",
+        ))
+
+    summaries = by_kind.get("summary", [])
+    if summaries:
+        rows = [
+            [phase or "(untagged)", f"{row['wall_s']:.4f}", int(row["spans"]),
+             int(row["jobs"]), int(row["tasks"])]
+            for phase, row in sorted(summaries[-1].get("phases", {}).items())
+        ]
+        print(format_table(
+            ["phase", "wall (s)", "spans", "jobs", "tasks"], rows,
+            title="Per-phase totals",
+        ))
+
+    stages = by_kind.get("stage", [])
+    if stages:
+        rows = [
+            [st["stage"], st["pools_proposed"], st["tests_run"],
+             f"{st['entropy_drop']:.4f}" if st.get("entropy_drop") is not None else "-",
+             st["states_pruned"], f"{st['wall_s']:.4f}"]
+            for st in stages
+        ]
+        print(format_table(
+            ["stage", "pools", "tests", "dH", "pruned", "wall (s)"], rows,
+            title="Screen stages",
+        ))
+
+    jobs = by_kind.get("job", [])
+    if jobs:
+        rows = [
+            [j["job_id"], j.get("description", "") or "-", len(j.get("stages", [])),
+             sum(s.get("num_tasks", 0) for s in j.get("stages", [])),
+             f"{j['wall_s']:.4f}"]
+            for j in jobs
+        ]
+        print(format_table(
+            ["job", "description", "stages", "tasks", "wall (s)"], rows,
+            title="Engine jobs",
+        ))
+
+    known = sum(len(by_kind.get(k, [])) for k in ("span", "stage", "summary", "job"))
+    if known < len(records):
+        print(f"({len(records) - known} unrecognized record(s) skipped)")
+    return 0
+
+
 _COMMANDS = {
     "screen": _cmd_screen,
     "calculator": _cmd_calculator,
     "surveillance": _cmd_surveillance,
     "scenarios": _cmd_scenarios,
+    "trace": _cmd_trace,
 }
 
 

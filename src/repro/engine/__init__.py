@@ -21,6 +21,7 @@ from repro.engine.errors import (
     TaskFailedError,
 )
 from repro.engine.hll import HyperLogLog
+from repro.engine.listener import EngineEvent, EngineListener, EventBus, RecordingListener
 from repro.engine.rdd import RDD, StatCounter
 from repro.engine.shuffle import HashPartitioner, Partitioner, RangePartitioner
 
@@ -35,6 +36,10 @@ __all__ = [
     "HashPartitioner",
     "RangePartitioner",
     "Partitioner",
+    "EngineEvent",
+    "EngineListener",
+    "EventBus",
+    "RecordingListener",
     "EngineError",
     "JobFailedError",
     "TaskFailedError",

@@ -16,6 +16,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.listener import CacheEvict, CacheHit, CacheMiss, EventBus
+
 __all__ = ["BlockStore"]
 
 BlockKey = Tuple[int, int]  # (rdd_id, partition_id)
@@ -38,7 +40,7 @@ def _estimate_size(records: List[Any]) -> int:
 class BlockStore:
     """Thread-safe LRU cache of materialized RDD partitions."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, bus: Optional[EventBus] = None) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = int(capacity_bytes)
@@ -46,6 +48,7 @@ class BlockStore:
         self._sizes: Dict[BlockKey, int] = {}
         self._used = 0
         self._lock = threading.Lock()
+        self._bus = bus
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -55,13 +58,17 @@ class BlockStore:
             block = self._blocks.get(key)
             if block is None:
                 self.misses += 1
-                return None
-            self._blocks.move_to_end(key)
-            self.hits += 1
-            return block
+            else:
+                self._blocks.move_to_end(key)
+                self.hits += 1
+        bus = self._bus
+        if bus:
+            bus.post(CacheMiss(*key) if block is None else CacheHit(*key))
+        return block
 
     def put(self, key: BlockKey, records: List[Any]) -> None:
         size = _estimate_size(records)
+        evicted: List[tuple] = []
         with self._lock:
             if key in self._blocks:
                 self._used -= self._sizes[key]
@@ -71,11 +78,17 @@ class BlockStore:
             # everything else.
             while self._used + size > self.capacity_bytes and self._blocks:
                 old_key, _ = self._blocks.popitem(last=False)
-                self._used -= self._sizes.pop(old_key)
+                old_size = self._sizes.pop(old_key)
+                self._used -= old_size
                 self.evictions += 1
+                evicted.append((old_key, old_size))
             self._blocks[key] = records
             self._sizes[key] = size
             self._used += size
+        bus = self._bus
+        if bus:
+            for (rdd_id, partition), old_size in evicted:
+                bus.post(CacheEvict(rdd_id, partition, old_size))
 
     def drop_rdd(self, rdd_id: int) -> int:
         """Evict every cached partition of one RDD; returns count dropped."""

@@ -41,6 +41,11 @@ class EngineConfig:
         LRU budget of the block store for ``cache()``-ed partitions.
     task_batch_size:
         Hint: number of tasks handed to the executor per submission wave.
+    enable_events:
+        Master switch of the listener bus.  ``False`` hard-disables
+        event delivery even with listeners registered (overhead
+        experiments); the default ``True`` still costs nothing until a
+        listener subscribes.
     """
 
     mode: ExecMode = "threads"
@@ -49,6 +54,7 @@ class EngineConfig:
     max_task_retries: int = 2
     cache_capacity_bytes: int = 1 << 30
     task_batch_size: int = 64
+    enable_events: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in _VALID_MODES:

@@ -22,6 +22,7 @@ from repro.engine.broadcast import Broadcast
 from repro.engine.config import EngineConfig
 from repro.engine.errors import ContextStoppedError
 from repro.engine.executor import BaseExecutor, make_executor
+from repro.engine.listener import EngineListener, EventBus
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.rdd import RDD, ParallelCollectionRDD, RangeRDD, UnionRDD
 from repro.engine.scheduler import Scheduler
@@ -57,8 +58,9 @@ class Context:
             shuffle_partitions=shuffle_partitions,
             max_task_retries=max_task_retries,
         )
-        self.shuffle_manager = ShuffleManager()
-        self.block_store = BlockStore(self.config.cache_capacity_bytes)
+        self.event_bus = EventBus(enabled=self.config.enable_events)
+        self.shuffle_manager = ShuffleManager(bus=self.event_bus)
+        self.block_store = BlockStore(self.config.cache_capacity_bytes, bus=self.event_bus)
         self.metrics = MetricsRegistry()
         self.accumulator_registry = AccumulatorRegistry()
         self._scheduler = Scheduler(self)
@@ -80,6 +82,7 @@ class Context:
                     self.block_store,
                     self.config.max_task_retries,
                     self.config.effective_parallelism,
+                    bus=self.event_bus,
                 )
             return self._executor
 
@@ -153,6 +156,17 @@ class Context:
         return acc
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: EngineListener) -> EngineListener:
+        """Subscribe *listener* to this context's event bus."""
+        return self.event_bus.register(listener)
+
+    def remove_listener(self, listener: EngineListener) -> None:
+        """Unsubscribe *listener* from this context's event bus."""
+        self.event_bus.unregister(listener)
+
+    # ------------------------------------------------------------------
     # job submission
     # ------------------------------------------------------------------
     def run_job(
@@ -179,6 +193,7 @@ class Context:
 
     def __setstate__(self, state):
         self.config = state["config"]
+        self.event_bus = EventBus(enabled=False)  # workers never post
         self.shuffle_manager = None  # workers read shuffles via TaskEnv
         self.block_store = None
         self.metrics = None

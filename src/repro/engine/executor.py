@@ -29,7 +29,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.engine import closure as closure_mod
 from repro.engine.accumulator import close_task_staging, open_task_staging
 from repro.engine.blockstore import BlockStore
-from repro.engine.errors import TaskFailedError
+from repro.engine.errors import JobFailedError, TaskFailedError
+from repro.engine.listener import EventBus, TaskEnd, TaskRetry, TaskStart
 from repro.engine.shuffle import (
     LocalShuffleFetcher,
     PayloadShuffleFetcher,
@@ -93,23 +94,38 @@ class TaskResult:
 class BaseExecutor:
     """Runs a batch of tasks, returning results ordered by task index."""
 
-    def __init__(self, manager: ShuffleManager, blockstore: BlockStore, max_retries: int) -> None:
+    def __init__(
+        self,
+        manager: ShuffleManager,
+        blockstore: BlockStore,
+        max_retries: int,
+        bus: Optional[EventBus] = None,
+    ) -> None:
         self._manager = manager
         self._blockstore = blockstore
         self._max_retries = max_retries
+        self._bus = bus
 
     def _local_env(self) -> TaskEnv:
         return TaskEnv(LocalShuffleFetcher(self._manager), self._blockstore)
 
     def _run_with_retries(self, task: Task, env: TaskEnv) -> TaskResult:
+        bus = self._bus
         last: Optional[BaseException] = None
         for attempt in range(1, self._max_retries + 2):
+            if bus:
+                bus.post(TaskStart(task.stage_id, task.partition, attempt))
             try:
                 result = task.run(env)
-                result.attempts = attempt
-                return result
             except Exception as exc:  # noqa: BLE001 - task bodies are user code
                 last = exc
+                if bus:
+                    bus.post(TaskRetry(task.stage_id, task.partition, attempt, repr(exc)))
+                continue
+            result.attempts = attempt
+            if bus:
+                bus.post(TaskEnd(task.stage_id, task.partition, result.wall_s, attempt))
+            return result
         raise TaskFailedError(task.stage_id, task.partition, self._max_retries + 1, last)
 
     def submit(self, tasks: List[Task]) -> List[TaskResult]:  # pragma: no cover - abstract
@@ -136,8 +152,9 @@ class ThreadExecutor(BaseExecutor):
         blockstore: BlockStore,
         max_retries: int,
         num_workers: int,
+        bus: Optional[EventBus] = None,
     ) -> None:
-        super().__init__(manager, blockstore, max_retries)
+        super().__init__(manager, blockstore, max_retries, bus)
         self._pool = cf.ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="engine-worker"
         )
@@ -145,6 +162,15 @@ class ThreadExecutor(BaseExecutor):
     def submit(self, tasks: List[Task]) -> List[TaskResult]:
         env = self._local_env()
         futures = [self._pool.submit(self._run_with_retries, t, env) for t in tasks]
+        # Fail fast: the first task to exhaust its retries aborts the
+        # wave — queued tasks are cancelled instead of draining behind
+        # an in-order result scan.
+        done, not_done = cf.wait(futures, return_when=cf.FIRST_EXCEPTION)
+        failure = next((f for f in done if f.exception() is not None), None)
+        if failure is not None:
+            for f in not_done:
+                f.cancel()
+            raise failure.exception()
         return [f.result() for f in futures]
 
     def stop(self) -> None:
@@ -167,13 +193,33 @@ class ProcessExecutor(BaseExecutor):
         blockstore: BlockStore,
         max_retries: int,
         num_workers: int,
+        bus: Optional[EventBus] = None,
     ) -> None:
-        super().__init__(manager, blockstore, max_retries)
+        super().__init__(manager, blockstore, max_retries, bus)
         ctx = multiprocessing.get_context("fork")
         self._pool = cf.ProcessPoolExecutor(max_workers=num_workers, mp_context=ctx)
         self._lock = threading.Lock()
 
+    @staticmethod
+    def _require_complete(
+        results: List[Optional[TaskResult]], tasks: List[Task]
+    ) -> List[TaskResult]:
+        """Every submitted task must have produced a result.
+
+        A worker future that vanishes without raising (pool torn down,
+        future lost) must abort the job loudly — silently dropping a
+        partition would corrupt every downstream aggregate.
+        """
+        missing = [tasks[i].partition for i, r in enumerate(results) if r is None]
+        if missing:
+            raise JobFailedError(
+                f"worker pool lost result(s) for partition(s) {missing} "
+                f"of stage {tasks[0].stage_id}"
+            )
+        return results  # type: ignore[return-value]
+
     def submit(self, tasks: List[Task]) -> List[TaskResult]:
+        bus = self._bus
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         pending = {i: 0 for i in range(len(tasks))}  # task index -> attempts
         payloads = [closure_mod.serialize(t) for t in tasks]
@@ -181,6 +227,9 @@ class ProcessExecutor(BaseExecutor):
             futures = {
                 self._pool.submit(_process_worker_run, payloads[i]): i for i in pending
             }
+            if bus:
+                for i in pending:
+                    bus.post(TaskStart(tasks[i].stage_id, tasks[i].partition, 1))
             while futures:
                 done, _ = cf.wait(futures, return_when=cf.FIRST_COMPLETED)
                 for fut in done:
@@ -189,8 +238,26 @@ class ProcessExecutor(BaseExecutor):
                         res = fut.result()
                         res.attempts = pending[i] + 1
                         results[i] = res
+                        if bus:
+                            bus.post(
+                                TaskEnd(
+                                    tasks[i].stage_id,
+                                    tasks[i].partition,
+                                    res.wall_s,
+                                    res.attempts,
+                                )
+                            )
                     except Exception as exc:  # noqa: BLE001
                         pending[i] += 1
+                        if bus:
+                            bus.post(
+                                TaskRetry(
+                                    tasks[i].stage_id,
+                                    tasks[i].partition,
+                                    pending[i],
+                                    repr(exc),
+                                )
+                            )
                         if pending[i] > self._max_retries:
                             for other in futures:
                                 other.cancel()
@@ -198,7 +265,13 @@ class ProcessExecutor(BaseExecutor):
                                 tasks[i].stage_id, tasks[i].partition, pending[i], exc
                             ) from exc
                         futures[self._pool.submit(_process_worker_run, payloads[i])] = i
-        return [r for r in results if r is not None]
+                        if bus:
+                            bus.post(
+                                TaskStart(
+                                    tasks[i].stage_id, tasks[i].partition, pending[i] + 1
+                                )
+                            )
+        return self._require_complete(results, tasks)
 
     def stop(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
@@ -210,12 +283,13 @@ def make_executor(
     blockstore: BlockStore,
     max_retries: int,
     num_workers: int,
+    bus: Optional[EventBus] = None,
 ) -> BaseExecutor:
     """Factory keyed on :attr:`EngineConfig.mode`."""
     if mode == "serial":
-        return SerialExecutor(manager, blockstore, max_retries)
+        return SerialExecutor(manager, blockstore, max_retries, bus)
     if mode == "threads":
-        return ThreadExecutor(manager, blockstore, max_retries, num_workers)
+        return ThreadExecutor(manager, blockstore, max_retries, num_workers, bus)
     if mode == "processes":
-        return ProcessExecutor(manager, blockstore, max_retries, num_workers)
+        return ProcessExecutor(manager, blockstore, max_retries, num_workers, bus)
     raise ValueError(f"unknown executor mode {mode!r}")

@@ -1,0 +1,337 @@
+"""The engine's listener bus (the ``SparkListener`` analogue).
+
+Every observable engine transition — job/stage/task lifecycle, task
+retries, shuffle writes and fetches, cache hits/misses/evictions — is a
+frozen dataclass posted to the context's :class:`EventBus`.  Observers
+subclass :class:`EngineListener` and override the hooks they care about;
+:meth:`EngineListener.on_event` dispatches by event type.
+
+Design constraints, in order:
+
+1. **Zero cost when idle.**  Emission sites guard with ``if bus:`` —
+   :class:`EventBus` is falsy when no listener is registered (or events
+   are disabled by config), so event objects are never even constructed
+   on the hot path of an unobserved context.
+2. **Listeners cannot kill jobs.**  A listener raising inside a hook is
+   recorded on the bus (``dropped_errors`` / ``last_error``) and
+   swallowed; the job proceeds.
+3. **Thread-safe posting.**  Thread-mode tasks emit concurrently; the
+   bus serializes delivery, so a listener sees a consistent stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Type
+
+__all__ = [
+    "EngineEvent",
+    "JobStart",
+    "JobEnd",
+    "StageStart",
+    "StageEnd",
+    "TaskStart",
+    "TaskEnd",
+    "TaskRetry",
+    "ShuffleWrite",
+    "ShuffleFetch",
+    "CacheHit",
+    "CacheMiss",
+    "CacheEvict",
+    "EngineListener",
+    "EventBus",
+    "RecordingListener",
+]
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base of every bus event; ``time`` is a ``perf_counter`` stamp."""
+
+    time: float = field(default_factory=time.perf_counter, init=False, compare=False)
+
+    @property
+    def kind(self) -> str:
+        """Lower-snake event name (``job_start``, ``task_retry``, …)."""
+        return _KIND_BY_TYPE[type(self)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready form (used by trace exporters)."""
+        out: Dict[str, Any] = {"kind": self.kind, "time": self.time}
+        for f in fields(self):
+            if f.name != "time":
+                out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class JobStart(EngineEvent):
+    """An action entered the scheduler."""
+
+    job_id: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class JobEnd(EngineEvent):
+    """The scheduler finished (or abandoned) a job."""
+
+    job_id: int
+    wall_s: float
+    succeeded: bool = True
+
+
+@dataclass(frozen=True)
+class StageStart(EngineEvent):
+    """A stage's task wave is about to be submitted."""
+
+    stage_id: int
+    stage_kind: str  # "shuffle-map" | "result"
+    num_tasks: int
+    job_id: int
+
+
+@dataclass(frozen=True)
+class StageEnd(EngineEvent):
+    """Every task of the stage has reported."""
+
+    stage_id: int
+    stage_kind: str
+    wall_s: float
+    job_id: int
+
+
+@dataclass(frozen=True)
+class TaskStart(EngineEvent):
+    """One attempt of one task is starting (attempt counts from 1)."""
+
+    stage_id: int
+    partition: int
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class TaskEnd(EngineEvent):
+    """A task attempt succeeded."""
+
+    stage_id: int
+    partition: int
+    wall_s: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class TaskRetry(EngineEvent):
+    """A task attempt failed (the driver may resubmit it)."""
+
+    stage_id: int
+    partition: int
+    attempt: int
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class ShuffleWrite(EngineEvent):
+    """A map task registered its output buckets."""
+
+    shuffle_id: int
+    map_id: int
+    records: int = 0
+
+
+@dataclass(frozen=True)
+class ShuffleFetch(EngineEvent):
+    """A reduce-side read of one shuffle partition."""
+
+    shuffle_id: int
+    reduce_id: int
+
+
+@dataclass(frozen=True)
+class CacheHit(EngineEvent):
+    """A cached partition was served from the block store."""
+
+    rdd_id: int
+    partition: int
+
+
+@dataclass(frozen=True)
+class CacheMiss(EngineEvent):
+    """A cache()-ed partition had to be (re)computed."""
+
+    rdd_id: int
+    partition: int
+
+
+@dataclass(frozen=True)
+class CacheEvict(EngineEvent):
+    """LRU pressure dropped a cached partition."""
+
+    rdd_id: int
+    partition: int
+    size_bytes: int = 0
+
+
+_KIND_BY_TYPE: Dict[Type[EngineEvent], str] = {
+    JobStart: "job_start",
+    JobEnd: "job_end",
+    StageStart: "stage_start",
+    StageEnd: "stage_end",
+    TaskStart: "task_start",
+    TaskEnd: "task_end",
+    TaskRetry: "task_retry",
+    ShuffleWrite: "shuffle_write",
+    ShuffleFetch: "shuffle_fetch",
+    CacheHit: "cache_hit",
+    CacheMiss: "cache_miss",
+    CacheEvict: "cache_evict",
+}
+
+_HANDLER_BY_TYPE: Dict[Type[EngineEvent], str] = {
+    cls: f"on_{kind}" for cls, kind in _KIND_BY_TYPE.items()
+}
+
+
+class EngineListener:
+    """Override the hooks you care about; defaults are all no-ops.
+
+    ``on_event`` receives *every* event and dispatches to the typed
+    hooks — override it instead for a firehose view (recording,
+    forwarding, tracing).
+    """
+
+    def on_event(self, event: EngineEvent) -> None:
+        """Dispatch *event* to its typed ``on_<kind>`` hook."""
+        handler = _HANDLER_BY_TYPE.get(type(event))
+        if handler is not None:
+            getattr(self, handler)(event)
+
+    def on_job_start(self, event: JobStart) -> None:
+        """Hook: a job entered the scheduler."""
+
+    def on_job_end(self, event: JobEnd) -> None:
+        """Hook: a job finished or failed."""
+
+    def on_stage_start(self, event: StageStart) -> None:
+        """Hook: a stage wave is being submitted."""
+
+    def on_stage_end(self, event: StageEnd) -> None:
+        """Hook: a stage completed."""
+
+    def on_task_start(self, event: TaskStart) -> None:
+        """Hook: a task attempt is starting."""
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        """Hook: a task attempt succeeded."""
+
+    def on_task_retry(self, event: TaskRetry) -> None:
+        """Hook: a task attempt failed."""
+
+    def on_shuffle_write(self, event: ShuffleWrite) -> None:
+        """Hook: map output registered."""
+
+    def on_shuffle_fetch(self, event: ShuffleFetch) -> None:
+        """Hook: reduce-side shuffle read."""
+
+    def on_cache_hit(self, event: CacheHit) -> None:
+        """Hook: block store hit."""
+
+    def on_cache_miss(self, event: CacheMiss) -> None:
+        """Hook: block store miss."""
+
+    def on_cache_evict(self, event: CacheEvict) -> None:
+        """Hook: block store eviction."""
+
+
+class EventBus:
+    """Fan-out of engine events to registered listeners.
+
+    The bus is **falsy** while no listener is registered (or the
+    context was configured with ``enable_events=False``); emitters use
+    that to skip event construction entirely, which is what keeps the
+    no-listener overhead unmeasurable.
+    """
+
+    __slots__ = ("_listeners", "_lock", "enabled", "dropped_errors", "last_error")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._listeners: List[EngineListener] = []
+        # Reentrant: a listener may itself trigger an emitting code path
+        # (e.g. a tracer reading a cached RDD) without deadlocking.
+        self._lock = threading.RLock()
+        self.enabled = bool(enabled)
+        #: Count of listener exceptions swallowed during delivery.
+        self.dropped_errors = 0
+        self.last_error: Optional[BaseException] = None
+
+    def __bool__(self) -> bool:
+        return self.enabled and bool(self._listeners)
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    def register(self, listener: EngineListener) -> EngineListener:
+        """Subscribe *listener*; returns it for chaining."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+        return listener
+
+    def unregister(self, listener: EngineListener) -> None:
+        """Unsubscribe *listener* (no-op if absent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every listener."""
+        with self._lock:
+            self._listeners.clear()
+
+    def post(self, event: EngineEvent) -> None:
+        """Deliver *event* to every listener, serialized and fail-safe."""
+        if not self:
+            return
+        with self._lock:
+            for listener in self._listeners:
+                try:
+                    listener.on_event(event)
+                except Exception as exc:  # noqa: BLE001 - listener bugs must not kill jobs
+                    self.dropped_errors += 1
+                    self.last_error = exc
+
+
+class RecordingListener(EngineListener):
+    """Append-only capture of the event stream (tests, debugging)."""
+
+    def __init__(self) -> None:
+        self._events: List[EngineEvent] = []
+        self._lock = threading.Lock()
+
+    def on_event(self, event: EngineEvent) -> None:
+        """Record the event (thread-safe)."""
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[EngineEvent]:
+        """Snapshot of everything recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    def of_type(self, *types: Type[EngineEvent]) -> List[EngineEvent]:
+        """Recorded events of the given type(s), in arrival order."""
+        return [e for e in self.events if isinstance(e, types)]
+
+    def kinds(self) -> List[str]:
+        """The recorded stream as a list of kind strings."""
+        return [e.kind for e in self.events]
+
+    def clear(self) -> None:
+        """Forget everything recorded."""
+        with self._lock:
+            self._events.clear()

@@ -8,9 +8,11 @@ time (the distinction the paper's Spark evaluation cares about).
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 __all__ = [
     "TaskMetrics",
@@ -132,6 +134,46 @@ class MetricsRegistry:
     def total_task_time(self) -> float:
         with self._lock:
             return sum(s.task_time_s for j in self._jobs for s in j.stages)
+
+    def dump_jsonl(self, path: Union[str, os.PathLike]) -> int:
+        """Write one JSON line per recorded job; returns the line count.
+
+        The layout mirrors the in-memory hierarchy (job → stages →
+        tasks) so a trace viewer can reconstruct the stage tree without
+        this package installed.
+        """
+        jobs = self.jobs
+        with open(path, "w", encoding="utf-8") as fh:
+            for job in jobs:
+                fh.write(
+                    json.dumps(
+                        {
+                            "record": "job",
+                            "job_id": job.job_id,
+                            "description": job.description,
+                            "wall_s": job.wall_s,
+                            "stages": [
+                                {
+                                    "stage_id": s.stage_id,
+                                    "kind": s.kind,
+                                    "wall_s": s.wall_s,
+                                    "num_tasks": s.num_tasks,
+                                    "tasks": [
+                                        {
+                                            "partition": t.partition,
+                                            "wall_s": t.wall_s,
+                                            "attempts": t.attempts,
+                                        }
+                                        for t in s.tasks
+                                    ],
+                                }
+                                for s in job.stages
+                            ],
+                        }
+                    )
+                    + "\n"
+                )
+        return len(jobs)
 
     def clear(self) -> None:
         with self._lock:

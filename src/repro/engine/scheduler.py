@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.engine.dag import Stage, build_stages
 from repro.engine.errors import JobFailedError
 from repro.engine.executor import Task, TaskEnv
+from repro.engine.listener import JobEnd, JobStart, StageEnd, StageStart
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
 from repro.engine.rdd import RDD, TaskContext
 
@@ -80,30 +81,38 @@ class Scheduler:
         """
         ctx = self._ctx
         ctx.ensure_running()
+        bus = ctx.event_bus
         job = JobMetrics(job_id=next(self._job_ids), description=description)
         t_job = time.perf_counter()
+        if bus:
+            bus.post(JobStart(job_id=job.job_id, description=description))
 
-        final_stage = build_stages(rdd)
-        for stage in self._topo_order(final_stage):
-            if stage.shuffle_dep is None:
-                continue
-            if ctx.shuffle_manager.is_materialized(stage.shuffle_dep.shuffle_id):
-                continue
-            self._run_map_stage(stage, job)
+        succeeded = False
+        try:
+            final_stage = build_stages(rdd)
+            for stage in self._topo_order(final_stage):
+                if stage.shuffle_dep is None:
+                    continue
+                if ctx.shuffle_manager.is_materialized(stage.shuffle_dep.shuffle_id):
+                    continue
+                self._run_map_stage(stage, job)
 
-        if partitions is None:
-            partitions = range(rdd.num_partitions)
-        else:
-            for p in partitions:
-                if not 0 <= p < rdd.num_partitions:
-                    raise JobFailedError(
-                        f"partition {p} out of range for RDD with "
-                        f"{rdd.num_partitions} partitions"
-                    )
-        results = self._run_result_stage(final_stage, func, list(partitions), job)
-
-        job.wall_s = time.perf_counter() - t_job
-        ctx.metrics.record(job)
+            if partitions is None:
+                partitions = range(rdd.num_partitions)
+            else:
+                for p in partitions:
+                    if not 0 <= p < rdd.num_partitions:
+                        raise JobFailedError(
+                            f"partition {p} out of range for RDD with "
+                            f"{rdd.num_partitions} partitions"
+                        )
+            results = self._run_result_stage(final_stage, func, list(partitions), job)
+            succeeded = True
+        finally:
+            job.wall_s = time.perf_counter() - t_job
+            ctx.metrics.record(job)
+            if bus:
+                bus.post(JobEnd(job_id=job.job_id, wall_s=job.wall_s, succeeded=succeeded))
         return results
 
     # ------------------------------------------------------------------
@@ -145,8 +154,11 @@ class Scheduler:
             Task(stage.id, p, _make_map_body(stage.rdd, p, stage.id, dep)) for p in parts
         ]
         self._attach_payloads(tasks, stage.rdd, parts)
+        bus = ctx.event_bus
         sm = StageMetrics(stage.id, "shuffle-map", num_tasks=n)
         t0 = time.perf_counter()
+        if bus:
+            bus.post(StageStart(stage.id, "shuffle-map", n, job.job_id))
         results = ctx.executor.submit(tasks)
         for res in results:
             ctx.shuffle_manager.put(dep.shuffle_id, res.partition, res.value)
@@ -156,6 +168,8 @@ class Scheduler:
             )
         sm.wall_s = time.perf_counter() - t0
         job.stages.append(sm)
+        if bus:
+            bus.post(StageEnd(stage.id, "shuffle-map", sm.wall_s, job.job_id))
 
     def _run_result_stage(
         self, stage: Stage, func: Callable, parts: List[int], job: JobMetrics
@@ -165,8 +179,11 @@ class Scheduler:
             Task(stage.id, p, _make_result_body(stage.rdd, p, stage.id, func)) for p in parts
         ]
         self._attach_payloads(tasks, stage.rdd, parts)
+        bus = ctx.event_bus
         sm = StageMetrics(stage.id, "result", num_tasks=len(parts))
         t0 = time.perf_counter()
+        if bus:
+            bus.post(StageStart(stage.id, "result", len(parts), job.job_id))
         results = ctx.executor.submit(tasks)
         by_partition = {res.partition: res for res in results}
         out: List[Any] = []
@@ -177,4 +194,6 @@ class Scheduler:
             out.append(res.value)
         sm.wall_s = time.perf_counter() - t0
         job.stages.append(sm)
+        if bus:
+            bus.post(StageEnd(stage.id, "result", sm.wall_s, job.job_id))
         return out

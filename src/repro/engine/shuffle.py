@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.errors import ShuffleFetchError
+from repro.engine.listener import EventBus, ShuffleFetch, ShuffleWrite
 
 __all__ = [
     "Partitioner",
@@ -100,11 +101,12 @@ class ShuffleManager:
     scheduler's signal that reduce stages may run.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self._blocks: Dict[int, Dict[int, List[Bucket]]] = {}
         self._complete: Dict[int, int] = {}  # shuffle_id -> expected map tasks
         self._lock = threading.Lock()
         self._ids = itertools.count()
+        self._bus = bus
 
     def new_shuffle_id(self) -> int:
         with self._lock:
@@ -118,6 +120,11 @@ class ShuffleManager:
     def put(self, shuffle_id: int, map_id: int, buckets: List[Bucket]) -> None:
         with self._lock:
             self._blocks.setdefault(shuffle_id, {})[map_id] = buckets
+        bus = self._bus
+        if bus:
+            bus.post(
+                ShuffleWrite(shuffle_id, map_id, sum(len(b) for b in buckets))
+            )
 
     def is_materialized(self, shuffle_id: int) -> bool:
         with self._lock:
@@ -132,6 +139,9 @@ class ShuffleManager:
             if maps is None:
                 raise ShuffleFetchError(f"shuffle {shuffle_id} has no map output")
             buckets = [maps[m][reduce_id] for m in sorted(maps)]
+        bus = self._bus
+        if bus:
+            bus.post(ShuffleFetch(shuffle_id, reduce_id))
         return itertools.chain.from_iterable(buckets)
 
     def gather_payload(self, shuffle_id: int, reduce_id: int) -> Bucket:

@@ -13,7 +13,7 @@ from repro.halving.candidates import (
     RandomCandidates,
     SlidingWindowCandidates,
 )
-from repro.halving.bha import halving_objective, select_halving_pool
+from repro.halving.bha import down_set_masses, halving_objective, select_halving_pool
 from repro.halving.lookahead import select_lookahead_pools, cell_masses
 from repro.halving.policy import (
     SelectionPolicy,
@@ -33,6 +33,7 @@ __all__ = [
     "ExhaustiveCandidates",
     "RandomCandidates",
     "SlidingWindowCandidates",
+    "down_set_masses",
     "halving_objective",
     "select_halving_pool",
     "select_lookahead_pools",

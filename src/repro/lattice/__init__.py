@@ -19,12 +19,13 @@ from repro.lattice.ops import (
     top_states,
     down_set_mass,
     up_set_mass,
+    pool_count_distribution,
     posterior_update,
     condition_on_classification,
     project_out_bit,
     kl_divergence,
 )
-from repro.lattice.prune import prune_by_mass, PruneResult
+from repro.lattice.prune import prune_below, prune_by_mass, PruneResult
 from repro.lattice.partition import LatticeBlock, partition_state_space, merge_blocks
 from repro.lattice.serialize import (
     load_posterior,
@@ -45,11 +46,13 @@ __all__ = [
     "top_states",
     "down_set_mass",
     "up_set_mass",
+    "pool_count_distribution",
     "posterior_update",
     "condition_on_classification",
     "project_out_bit",
     "kl_divergence",
     "prune_by_mass",
+    "prune_below",
     "PruneResult",
     "LatticeBlock",
     "partition_state_space",

@@ -1,0 +1,34 @@
+"""Observability for SBGT workloads.
+
+Sits between the engine's listener bus (:mod:`repro.engine.listener`)
+and the SBGT layers: a :class:`Tracer` tags work by SBGT phase
+(``lattice-op`` / ``selection`` / ``analysis``), collects per-stage
+screen telemetry, and exports JSON-lines traces readable by
+``python -m repro trace``.
+"""
+
+from repro.obs.tracer import (
+    PHASE_ANALYSIS,
+    PHASE_LATTICE,
+    PHASE_SELECTION,
+    PHASES,
+    PhaseSpan,
+    StageTelemetry,
+    Tracer,
+    current_tracer,
+    trace_phase,
+    traced,
+)
+
+__all__ = [
+    "PHASE_LATTICE",
+    "PHASE_SELECTION",
+    "PHASE_ANALYSIS",
+    "PHASES",
+    "PhaseSpan",
+    "StageTelemetry",
+    "Tracer",
+    "current_tracer",
+    "trace_phase",
+    "traced",
+]

@@ -13,6 +13,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.bayes.posterior import Classification, ClassificationReport
+from repro.obs.tracer import PHASE_ANALYSIS, traced
 from repro.sbgt.distributed_lattice import DistributedLattice
 
 __all__ = ["DistributedAnalyzer"]
@@ -40,6 +41,7 @@ class DistributedAnalyzer:
         """Top-k states with normalised probabilities."""
         return self.lattice.top_states(k)
 
+    @traced(PHASE_ANALYSIS, "credible_states")
     def credible_states(self, mass: float = 0.95, limit: int = 4096) -> List[Tuple[int, float]]:
         """Smallest set of top states jointly covering ≥ *mass*.
 
@@ -61,6 +63,7 @@ class DistributedAnalyzer:
             f"credible set exceeds limit={limit} states (covered {acc:.4f} of {mass})"
         )
 
+    @traced(PHASE_ANALYSIS, "classify")
     def classify(
         self, positive_threshold: float = 0.99, negative_threshold: float = 0.01
     ) -> ClassificationReport:

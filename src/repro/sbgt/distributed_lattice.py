@@ -43,6 +43,7 @@ from repro.lattice.partition import (
     partition_state_space,
 )
 from repro.lattice.states import StateSpace
+from repro.obs.tracer import PHASE_ANALYSIS, PHASE_LATTICE, PHASE_SELECTION, traced
 from repro.util.bits import popcount64
 
 __all__ = ["DistributedLattice", "PruneStats"]
@@ -88,6 +89,7 @@ class DistributedLattice:
     # construction (operation class R1: lattice manipulation)
     # ------------------------------------------------------------------
     @classmethod
+    @traced(PHASE_LATTICE, "from_prior")
     def from_prior(
         cls, ctx: Context, prior: PriorSpec, num_blocks: int = 0
     ) -> "DistributedLattice":
@@ -120,6 +122,7 @@ class DistributedLattice:
         return lattice
 
     @classmethod
+    @traced(PHASE_LATTICE, "from_restricted_prior")
     def from_restricted_prior(
         cls,
         ctx: Context,
@@ -150,6 +153,7 @@ class DistributedLattice:
         return lattice, log_discarded
 
     @classmethod
+    @traced(PHASE_LATTICE, "from_state_space")
     def from_state_space(
         cls, ctx: Context, space: StateSpace, num_blocks: int = 0
     ) -> "DistributedLattice":
@@ -196,6 +200,7 @@ class DistributedLattice:
     # ------------------------------------------------------------------
     # lattice manipulation (R1)
     # ------------------------------------------------------------------
+    @traced(PHASE_LATTICE, "update")
     def update(self, pool_mask: int, log_lik_by_count: np.ndarray) -> float:
         """Bayes-update on a pooled outcome; returns log-predictive.
 
@@ -224,6 +229,7 @@ class DistributedLattice:
             self.rebalance(self.num_blocks)
         return float(log_pred)
 
+    @traced(PHASE_LATTICE, "condition")
     def condition(self, positive_mask: int = 0, negative_mask: int = 0) -> None:
         """Drop states inconsistent with settled classifications."""
         if int(positive_mask) & int(negative_mask):
@@ -234,6 +240,7 @@ class DistributedLattice:
         self._replace_rdd(filtered)
         self._renormalize()
 
+    @traced(PHASE_LATTICE, "prune")
     def prune(self, epsilon: float, bins: int = 512) -> PruneStats:
         """Histogram-guided distributed pruning.
 
@@ -284,6 +291,7 @@ class DistributedLattice:
         dropped_mass = float(max(0.0, 1.0 - np.exp(min(dropped_log_mass, 0.0))))
         return PruneStats(kept, before - kept, dropped_mass)
 
+    @traced(PHASE_LATTICE, "project_out_bit")
     def project_out_bit(self, bit: int, keep_positive: bool) -> None:
         """Condition on a settled individual and squeeze their bit out.
 
@@ -305,6 +313,7 @@ class DistributedLattice:
         self.n_items -= 1
         self._renormalize()
 
+    @traced(PHASE_LATTICE, "rebalance")
     def rebalance(self, num_blocks: int = 0) -> None:
         """Collect and redistribute the lattice into even, lineage-free blocks.
 
@@ -323,6 +332,7 @@ class DistributedLattice:
     # ------------------------------------------------------------------
     # test selection partials (R2) — consumed by repro.sbgt.selector
     # ------------------------------------------------------------------
+    @traced(PHASE_SELECTION, "down_set_masses")
     def down_set_masses(self, pool_masks: np.ndarray) -> np.ndarray:
         """Normalised down-set mass per candidate pool (one aggregation)."""
         pools = np.asarray(pool_masks, dtype=np.uint64)
@@ -333,6 +343,7 @@ class DistributedLattice:
             lambda a, b: a + b,
         )
 
+    @traced(PHASE_SELECTION, "count_distribution")
     def count_distribution(self, pool_mask: int) -> np.ndarray:
         """P(k positives in pool) for k = 0..|pool| (one aggregation)."""
         pool_mask = int(pool_mask)
@@ -346,6 +357,7 @@ class DistributedLattice:
     # ------------------------------------------------------------------
     # statistical analysis (R3)
     # ------------------------------------------------------------------
+    @traced(PHASE_ANALYSIS, "marginals")
     def marginals(self) -> np.ndarray:
         """Per-individual posterior infection probabilities."""
         return self.rdd.tree_aggregate(
@@ -354,6 +366,7 @@ class DistributedLattice:
             lambda a, b: a + b,
         )
 
+    @traced(PHASE_ANALYSIS, "entropy")
     def entropy(self) -> float:
         """Shannon entropy of the posterior (nats)."""
         return self.rdd.tree_aggregate(
@@ -362,6 +375,7 @@ class DistributedLattice:
             lambda a, b: a + b,
         )
 
+    @traced(PHASE_ANALYSIS, "top_states")
     def top_states(self, k: int) -> List[Tuple[int, float]]:
         """Global top-k (mask, probability) pairs."""
         if k <= 0:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.halving.bha import halving_objective
 from repro.halving.lookahead import batch_balance_objective
 from repro.lattice.partition import LatticeBlock
+from repro.obs.tracer import PHASE_SELECTION, traced
 from repro.sbgt.distributed_lattice import DistributedLattice
 from repro.util.bits import popcount64
 
@@ -36,6 +37,7 @@ def down_set_masses_distributed(
     return lattice.down_set_masses(pool_masks)
 
 
+@traced(PHASE_SELECTION, "select_halving")
 def select_halving_pool_distributed(
     lattice: DistributedLattice, pool_masks: np.ndarray
 ) -> Tuple[int, float, float]:
@@ -111,6 +113,7 @@ def _binary_entropy(p: np.ndarray) -> np.ndarray:
     return -(p * np.log(p) + (1 - p) * np.log1p(-p))
 
 
+@traced(PHASE_SELECTION, "select_infogain")
 def select_infogain_pool_distributed(
     lattice: DistributedLattice, candidate_masks: np.ndarray, model
 ) -> Tuple[int, float]:
@@ -151,6 +154,7 @@ def select_infogain_pool_distributed(
     return best_pool, float(best_info)
 
 
+@traced(PHASE_SELECTION, "select_lookahead")
 def select_lookahead_pools_distributed(
     lattice: DistributedLattice, candidate_masks: np.ndarray, s: int
 ) -> Tuple[List[int], float]:

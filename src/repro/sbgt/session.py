@@ -40,9 +40,10 @@ from repro.halving.policy import (
 )
 from repro.metrics.classification import evaluate_classification
 from repro.metrics.efficiency import efficiency_report
+from repro.obs.tracer import current_tracer
 from repro.sbgt.analyzer import DistributedAnalyzer
 from repro.sbgt.config import SBGTConfig
-from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.sbgt.distributed_lattice import DistributedLattice, PruneStats
 from repro.sbgt.selector import (
     select_halving_pool_distributed,
     select_infogain_pool_distributed,
@@ -52,6 +53,7 @@ from repro.simulate.population import Cohort, make_cohort
 from repro.simulate.testing import TestLab
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.classify import ScreenResult
+from repro.workflows.options import ScreenOptions, resolve_screen_options
 
 __all__ = ["SBGTSession"]
 
@@ -190,16 +192,17 @@ class SBGTSession:
         self.log.append(record)
         return record
 
-    def prune(self) -> None:
+    def prune(self) -> Optional[PruneStats]:
         """Apply the configured pruning + rebalance policy."""
         if self.config.prune_epsilon <= 0.0:
-            return
+            return None
         if self._stage % self.config.prune_interval != 0:
-            return
-        self.lattice.prune(self.config.prune_epsilon)
+            return None
+        stats = self.lattice.prune(self.config.prune_epsilon)
         if self.lattice.num_states() <= self.config.rebalance_states:
             self.lattice.rebalance()
         self._invalidate()
+        return stats
 
     # ------------------------------------------------------------------
     # lattice contraction
@@ -261,9 +264,14 @@ class SBGTSession:
         rng: RngLike = None,
         cohort: Optional[Cohort] = None,
         stopping_rule=None,
+        options: Optional[ScreenOptions] = None,
+        **legacy,
     ) -> ScreenResult:
         """Run the classify/select/assay/update loop to completion.
 
+        ``options`` (a :class:`~repro.workflows.options.ScreenOptions`)
+        overrides the corresponding :class:`SBGTConfig` fields for this
+        screen only; the old loose keywords remain deprecated aliases.
         ``stopping_rule`` (see
         :class:`~repro.halving.stopping.LossBasedStopping`) additionally
         ends the screen once the residual misclassification risk is
@@ -271,6 +279,31 @@ class SBGTSession:
         """
         from repro.workflows.classify import _loss_final_report
 
+        defaults = ScreenOptions(
+            positive_threshold=self.config.positive_threshold,
+            negative_threshold=self.config.negative_threshold,
+            max_stages=self.config.max_stages,
+            prune_epsilon=self.config.prune_epsilon,
+            track_entropy=self.config.track_entropy,
+        )
+        opts = resolve_screen_options(options, legacy, "SBGTSession.run_screen", defaults)
+        saved_config = self.config
+        if opts != defaults:
+            self.config = self.config.with_(
+                positive_threshold=opts.positive_threshold,
+                negative_threshold=opts.negative_threshold,
+                max_stages=opts.max_stages,
+                prune_epsilon=opts.prune_epsilon,
+                track_entropy=opts.track_entropy,
+            )
+        try:
+            return self._run_screen_loop(policy, rng, cohort, stopping_rule, _loss_final_report)
+        finally:
+            self.config = saved_config
+
+    def _run_screen_loop(
+        self, policy, rng, cohort, stopping_rule, _loss_final_report
+    ) -> ScreenResult:
         gen = as_rng(rng)
         if cohort is None:
             cohort = make_cohort(self.prior, gen)
@@ -295,13 +328,31 @@ class SBGTSession:
             if not pools:
                 raise RuntimeError(f"policy {policy.name} proposed no pools")
             self.begin_stage()
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.begin_screen_stage(self._stage)
             stages_used += 1
+            records = []
             for pool in pools:
                 outcome = lab.run(pool)
-                self.update(pool, outcome)
-            self.prune()
+                records.append(self.update(pool, outcome))
+            prune_stats = self.prune()
             report = self.classify()
             self._compact_settled(report)
+            if tracer is not None:
+                drop = None
+                if (
+                    records
+                    and records[0].entropy_before is not None
+                    and records[-1].entropy_after is not None
+                ):
+                    drop = records[0].entropy_before - records[-1].entropy_after
+                tracer.end_screen_stage(
+                    pools_proposed=len(pools),
+                    tests_run=len(records),
+                    entropy_drop=drop,
+                    states_pruned=prune_stats.dropped_states if prune_stats else 0,
+                )
 
         confusion = evaluate_classification(report, cohort.truth_mask)
         eff = efficiency_report(

@@ -6,7 +6,7 @@ virtual lab applying the dilution response models, and epidemic
 prevalence trajectories for longitudinal surveillance scenarios.
 """
 
-from repro.simulate.population import Cohort, draw_truth, make_cohort
+from repro.simulate.population import Cohort, draw_truth, draw_truth_from_space, make_cohort
 from repro.simulate.testing import TestLab, LabStats
 from repro.simulate.epidemic import sir_prevalence, surveillance_priors
 from repro.simulate.scenario import Scenario, SCENARIOS, get_scenario
@@ -20,6 +20,7 @@ from repro.simulate.linelist import (
 __all__ = [
     "Cohort",
     "draw_truth",
+    "draw_truth_from_space",
     "make_cohort",
     "TestLab",
     "LabStats",

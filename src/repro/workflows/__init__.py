@@ -1,6 +1,7 @@
 """End-to-end workflows: screens, surveillance campaigns, the calculator."""
 
 from repro.workflows.classify import ScreenResult, run_screen, run_screen_from_space
+from repro.workflows.options import ScreenOptions
 from repro.workflows.surveillance import SurveillanceResult, run_surveillance
 from repro.workflows.calculator import CalculatorEntry, pooling_calculator
 from repro.workflows.population import (
@@ -11,6 +12,7 @@ from repro.workflows.population import (
 
 __all__ = [
     "ScreenResult",
+    "ScreenOptions",
     "run_screen",
     "run_screen_from_space",
     "SurveillanceResult",

@@ -21,6 +21,7 @@ from repro.halving.policy import SelectionPolicy
 from repro.metrics.reporting import format_table
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.classify import run_screen
+from repro.workflows.options import ScreenOptions
 
 __all__ = ["CalculatorEntry", "pooling_calculator", "format_calculator_table"]
 
@@ -80,9 +81,11 @@ def pooling_calculator(
                 model,
                 policy_factory(),
                 rng=gen,
-                max_stages=max_stages,
-                positive_threshold=positive_threshold,
-                negative_threshold=negative_threshold,
+                options=ScreenOptions(
+                    max_stages=max_stages,
+                    positive_threshold=positive_threshold,
+                    negative_threshold=negative_threshold,
+                ),
             )
             tpis.append(res.tests_per_individual)
             stages.append(res.stages_used)

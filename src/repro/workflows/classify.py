@@ -26,6 +26,7 @@ from repro.metrics.efficiency import EfficiencyReport, efficiency_report
 from repro.simulate.population import Cohort, make_cohort
 from repro.simulate.testing import TestLab
 from repro.util.rng import RngLike, as_rng
+from repro.workflows.options import ScreenOptions, resolve_screen_options
 
 __all__ = ["ScreenResult", "run_screen", "run_screen_from_space"]
 
@@ -90,12 +91,9 @@ def run_screen(
     policy: SelectionPolicy,
     rng: RngLike = None,
     cohort: Optional[Cohort] = None,
-    positive_threshold: float = 0.99,
-    negative_threshold: float = 0.01,
-    max_stages: int = 50,
-    prune_epsilon: float = 0.0,
-    track_entropy: bool = False,
+    options: Optional[ScreenOptions] = None,
     stopping_rule=None,
+    **legacy,
 ) -> ScreenResult:
     """Run one complete sequential screen.
 
@@ -107,20 +105,22 @@ def run_screen(
         Drives truth draw (when *cohort* is None) and assay noise.
     cohort:
         Fixed ground truth; drawn from the prior when omitted.
-    positive_threshold, negative_threshold:
-        Marginal cut-offs that settle an individual.
-    max_stages:
-        Stage budget; a screen that exhausts it reports
-        ``exhausted_budget=True`` with whatever is still undetermined.
-    prune_epsilon:
-        When positive, prune the posterior support to the ``1-ε`` core
-        after every stage (the approximation the ablation sweeps).
+    options:
+        The :class:`~repro.workflows.options.ScreenOptions` bundle
+        (thresholds, stage budget, pruning, entropy tracking).  The old
+        loose keywords (``positive_threshold``, ``negative_threshold``,
+        ``max_stages``, ``prune_epsilon``, ``track_entropy``) remain as
+        deprecated aliases.
     stopping_rule:
         Optional :class:`~repro.halving.stopping.LossBasedStopping`:
         the screen also ends when residual misclassification risk drops
         below the cost of testing further, with every individual given
         their loss-optimal call (no undetermined statuses).
     """
+    opts = resolve_screen_options(options, legacy, "run_screen")
+    positive_threshold, negative_threshold = opts.positive_threshold, opts.negative_threshold
+    max_stages, prune_epsilon = opts.max_stages, opts.prune_epsilon
+    track_entropy = opts.track_entropy
     gen = as_rng(rng)
     if cohort is None:
         cohort = make_cohort(prior, gen)
@@ -175,11 +175,8 @@ def run_screen_from_space(
     policy: SelectionPolicy,
     rng: RngLike = None,
     truth_mask: Optional[int] = None,
-    positive_threshold: float = 0.99,
-    negative_threshold: float = 0.01,
-    max_stages: int = 50,
-    prune_epsilon: float = 0.0,
-    track_entropy: bool = False,
+    options: Optional[ScreenOptions] = None,
+    **legacy,
 ) -> ScreenResult:
     """Run a screen whose prior is an arbitrary state space.
 
@@ -195,6 +192,10 @@ def run_screen_from_space(
     from repro.lattice.ops import marginals as space_marginals
     from repro.simulate.population import draw_truth_from_space
 
+    opts = resolve_screen_options(options, legacy, "run_screen_from_space")
+    positive_threshold, negative_threshold = opts.positive_threshold, opts.negative_threshold
+    max_stages, prune_epsilon = opts.max_stages, opts.prune_epsilon
+    track_entropy = opts.track_entropy
     gen = as_rng(rng)
     if truth_mask is None:
         truth_mask = draw_truth_from_space(space, gen)

@@ -1,0 +1,93 @@
+"""Shared options for the two screen drivers.
+
+:func:`repro.workflows.run_screen` (serial) and
+:meth:`repro.sbgt.SBGTSession.run_screen` (distributed) run the same
+stage protocol but historically took the tuning knobs as loose keyword
+arguments.  :class:`ScreenOptions` is the one bundle both accept; the
+old keywords still work as deprecated aliases (one release of grace)
+through :func:`resolve_screen_options`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
+
+__all__ = ["ScreenOptions", "resolve_screen_options"]
+
+
+@dataclass(frozen=True)
+class ScreenOptions:
+    """Tuning knobs shared by the serial and distributed screen drivers.
+
+    Parameters
+    ----------
+    positive_threshold / negative_threshold:
+        Marginal cut-offs that settle an individual.
+    max_stages:
+        Stage budget; a screen that exhausts it reports
+        ``exhausted_budget=True`` with whatever is still undetermined.
+    prune_epsilon:
+        When positive, prune the posterior support to the ``1-ε`` core
+        after each stage (``0`` = exact inference).
+    track_entropy:
+        Record entropy before/after each test (extra pass per update).
+    """
+
+    positive_threshold: float = 0.99
+    negative_threshold: float = 0.01
+    max_stages: int = 50
+    prune_epsilon: float = 0.0
+    track_entropy: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.negative_threshold < self.positive_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= neg < pos <= 1")
+        if self.max_stages < 1:
+            raise ValueError("max_stages must be >= 1")
+        if not 0.0 <= self.prune_epsilon < 1.0:
+            raise ValueError("prune_epsilon must be in [0, 1)")
+
+    def with_(self, **kwargs) -> "ScreenOptions":
+        return replace(self, **kwargs)
+
+
+_OPTION_NAMES = frozenset(f.name for f in fields(ScreenOptions))
+
+
+def resolve_screen_options(
+    options: Optional[ScreenOptions],
+    legacy: Dict[str, object],
+    where: str,
+    defaults: Optional[ScreenOptions] = None,
+) -> ScreenOptions:
+    """Merge the ``options=`` bundle with deprecated loose keywords.
+
+    *legacy* is the caller's ``**kwargs``; unknown names raise
+    :class:`TypeError` exactly like a normal bad keyword would, known
+    names emit a :class:`DeprecationWarning` and override *defaults*.
+    Mixing ``options=`` with legacy keywords is ambiguous and rejected.
+    """
+    unknown = sorted(set(legacy) - _OPTION_NAMES)
+    if unknown:
+        raise TypeError(
+            f"{where}() got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    if legacy and options is not None:
+        raise TypeError(
+            f"{where}() takes either options=ScreenOptions(...) or the "
+            f"deprecated loose keywords ({', '.join(sorted(legacy))}), not both"
+        )
+    if legacy:
+        names = ", ".join(sorted(legacy))
+        warnings.warn(
+            f"passing {names} to {where}() is deprecated; "
+            f"use options=ScreenOptions(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(defaults or ScreenOptions(), **legacy)
+    if options is not None:
+        return options
+    return defaults or ScreenOptions()

@@ -23,6 +23,7 @@ from repro.halving.policy import SelectionPolicy
 from repro.simulate.population import Cohort
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.classify import ScreenResult, run_screen
+from repro.workflows.options import ScreenOptions
 
 __all__ = ["PopulationResult", "screen_population", "split_into_cohorts"]
 
@@ -132,9 +133,11 @@ def screen_population(
             policy_factory(),
             rng=seed,
             cohort=cohort,
-            max_stages=max_stages,
-            positive_threshold=positive_threshold,
-            negative_threshold=negative_threshold,
+            options=ScreenOptions(
+                max_stages=max_stages,
+                positive_threshold=positive_threshold,
+                negative_threshold=negative_threshold,
+            ),
         )
 
     results = ctx.parallelize(jobs, min(len(jobs), ctx.default_parallelism * 4)).map(

@@ -17,6 +17,7 @@ from repro.halving.policy import SelectionPolicy
 from repro.simulate.epidemic import sir_prevalence, surveillance_priors
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.classify import ScreenResult, run_screen
+from repro.workflows.options import ScreenOptions
 
 __all__ = ["DayOutcome", "SurveillanceResult", "run_surveillance"]
 
@@ -115,7 +116,8 @@ def run_surveillance(
     campaign = SurveillanceResult()
     for day, prior in surveillance_priors(prevalence, cohort_size, dispersion, gen):
         result = run_screen(
-            prior, model, policy_factory(), rng=gen, max_stages=max_stages
+            prior, model, policy_factory(), rng=gen,
+            options=ScreenOptions(max_stages=max_stages),
         )
         campaign.days.append(
             DayOutcome(day=day, prevalence=float(prevalence[day]), result=result)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine.closure import deserialize, serialize, serialize_function
+from repro.engine.closure import deserialize, serialize
 from repro.engine.errors import SerializationError
 
 GLOBAL_FACTOR = 13

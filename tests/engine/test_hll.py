@@ -1,6 +1,5 @@
 """HyperLogLog approximate distinct counting."""
 
-import numpy as np
 import pytest
 
 from repro.engine.hll import HyperLogLog, count_approx_distinct

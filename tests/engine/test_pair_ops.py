@@ -1,6 +1,5 @@
 """Key-value (shuffle) operations."""
 
-import pytest
 
 from repro.engine import HashPartitioner
 

@@ -1,12 +1,10 @@
 """Hybrid (Dorfman → BHA) policy."""
 
-import pytest
-
 from repro.bayes.dilution import BinaryErrorModel, PerfectTest
 from repro.bayes.posterior import Posterior
 from repro.bayes.priors import PriorSpec
 from repro.halving.hybrid import HybridPolicy
-from repro.halving.policy import BHAPolicy, DorfmanPolicy, IndividualTestingPolicy
+from repro.halving.policy import BHAPolicy, DorfmanPolicy
 from repro.simulate.population import make_cohort
 from repro.workflows.classify import run_screen
 

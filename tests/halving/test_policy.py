@@ -1,6 +1,5 @@
 """Selection policies."""
 
-import numpy as np
 import pytest
 
 from repro.bayes.dilution import BinaryErrorModel, LogNormalViralLoadModel, PerfectTest

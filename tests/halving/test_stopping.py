@@ -1,6 +1,5 @@
 """Loss-based stopping."""
 
-import numpy as np
 import pytest
 
 from repro.bayes.dilution import BinaryErrorModel, PerfectTest

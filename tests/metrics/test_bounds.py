@@ -1,6 +1,5 @@
 """Information-theoretic lower bounds."""
 
-import math
 
 import numpy as np
 import pytest
@@ -11,7 +10,6 @@ from repro.bayes.priors import PriorSpec
 from repro.halving.policy import BHAPolicy
 from repro.metrics.bounds import (
     halving_optimality_ratio,
-    min_expected_tests,
     prior_entropy_bits,
 )
 from repro.workflows.classify import run_screen

@@ -1,0 +1,211 @@
+"""Tracer: span self-time accounting, stage telemetry, JSONL export."""
+
+import json
+import time
+
+import pytest
+
+from repro.engine import Context
+from repro.obs import (
+    PHASE_ANALYSIS,
+    PHASE_LATTICE,
+    PHASE_SELECTION,
+    Tracer,
+    current_tracer,
+    trace_phase,
+    traced,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    assert current_tracer() is None
+    yield
+    assert current_tracer() is None, "a test left a tracer installed"
+
+
+class TestSpans:
+    def test_nested_spans_self_time_partitions_wall(self):
+        t = Tracer()
+        with t.phase(PHASE_SELECTION, "outer"):
+            time.sleep(0.02)
+            with t.phase(PHASE_LATTICE, "inner"):
+                time.sleep(0.02)
+        outer = next(s for s in t.spans if s.label == "outer")
+        inner = next(s for s in t.spans if s.label == "inner")
+        assert inner.depth == 1 and outer.depth == 0
+        # The inner span's wall is excluded from the outer's self time.
+        assert outer.self_s == pytest.approx(outer.wall_s - inner.wall_s, abs=1e-3)
+        assert t.phase_wall(PHASE_LATTICE) == pytest.approx(inner.self_s)
+        assert t.phase_wall(PHASE_SELECTION) == pytest.approx(outer.self_s)
+
+    def test_same_phase_nesting_does_not_double_count(self):
+        t = Tracer()
+        with t.phase(PHASE_LATTICE, "a"):
+            with t.phase(PHASE_LATTICE, "b"):
+                time.sleep(0.01)
+        total = t.phase_wall(PHASE_LATTICE)
+        walls = {s.label: s.wall_s for s in t.spans}
+        # Sum of self times equals the outermost wall, not the sum of walls.
+        assert total == pytest.approx(walls["a"], abs=1e-3)
+        assert total < walls["a"] + walls["b"]
+
+    def test_span_cap_keeps_totals(self):
+        t = Tracer(keep_spans=3)
+        for _ in range(10):
+            with t.phase(PHASE_ANALYSIS, "x"):
+                pass
+        assert len(t.spans) == 3
+        assert t.totals()[PHASE_ANALYSIS]["spans"] == 10
+
+    def test_exception_still_closes_span(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.phase(PHASE_LATTICE, "boom"):
+                raise ValueError("x")
+        assert len(t.spans) == 1
+        assert t._stack() == []
+
+
+class TestModuleDispatch:
+    def test_trace_phase_noop_without_installed_tracer(self):
+        with trace_phase(PHASE_LATTICE, "ignored"):
+            pass  # must not raise, must not record anywhere
+
+    def test_install_uninstall_and_context_manager(self):
+        t = Tracer()
+        with t:
+            assert current_tracer() is t
+            with trace_phase(PHASE_SELECTION, "live"):
+                pass
+        assert current_tracer() is None
+        assert [s.label for s in t.spans] == ["live"]
+
+    def test_uninstall_does_not_clobber_other_tracer(self):
+        a, b = Tracer(), Tracer()
+        a.install()
+        b.install()
+        a.uninstall()  # b is active; a must leave it alone
+        assert current_tracer() is b
+        b.uninstall()
+
+    def test_traced_decorator(self):
+        @traced(PHASE_ANALYSIS)
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6  # uninstalled: plain call
+        t = Tracer()
+        with t:
+            assert work(4) == 8
+        assert [(s.phase, s.label) for s in t.spans] == [(PHASE_ANALYSIS, "work")]
+
+
+class TestEngineAttribution:
+    def test_jobs_and_tasks_attributed_to_open_phase(self):
+        t = Tracer()
+        with Context(mode="serial") as ctx:
+            t.attach(ctx)
+            try:
+                with t.phase(PHASE_SELECTION, "sel"):
+                    ctx.range(10, num_partitions=2).sum()
+                ctx.range(10, num_partitions=2).sum()  # untagged
+            finally:
+                t.detach(ctx)
+        totals = t.totals()
+        assert totals[PHASE_SELECTION]["jobs"] == 1
+        assert totals[PHASE_SELECTION]["tasks"] == 2
+        assert totals[""]["jobs"] == 1
+
+
+class TestStageTelemetry:
+    def test_stage_records_counters_and_phase_breakdown(self):
+        t = Tracer()
+        t.begin_screen_stage(0)
+        with t.phase(PHASE_SELECTION, "pick"):
+            time.sleep(0.01)
+        st = t.end_screen_stage(
+            pools_proposed=3, tests_run=3, entropy_drop=0.5, states_pruned=7
+        )
+        assert st is not None
+        assert (st.pools_proposed, st.tests_run, st.states_pruned) == (3, 3, 7)
+        assert st.entropy_drop == 0.5
+        assert st.wall_s > 0
+        assert PHASE_SELECTION in st.phase_wall
+        assert t.stages == [st]
+
+    def test_end_without_begin_returns_none(self):
+        assert Tracer().end_screen_stage() is None
+
+    def test_phase_wall_is_per_stage_delta(self):
+        t = Tracer()
+        with t.phase(PHASE_LATTICE, "before"):
+            time.sleep(0.01)
+        t.begin_screen_stage(1)
+        st = t.end_screen_stage()
+        # Activity before the stage began must not leak into its breakdown.
+        assert PHASE_LATTICE not in st.phase_wall
+
+
+class TestExport:
+    def test_dump_jsonl_round_trip(self, tmp_path):
+        t = Tracer()
+        with t.phase(PHASE_LATTICE, "upd"):
+            pass
+        t.begin_screen_stage(0)
+        t.end_screen_stage(pools_proposed=1, tests_run=1)
+        out = tmp_path / "trace.jsonl"
+        n = t.dump_jsonl(out)
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == n == 3  # 1 span + 1 stage + summary
+        by_kind = {r["record"] for r in records}
+        assert by_kind == {"span", "stage", "summary"}
+        summary = next(r for r in records if r["record"] == "summary")
+        assert PHASE_LATTICE in summary["phases"]
+
+    def test_summary_text_mentions_phases_and_stages(self):
+        t = Tracer()
+        with t.phase(PHASE_ANALYSIS, "marg"):
+            pass
+        t.begin_screen_stage(2)
+        t.end_screen_stage(tests_run=4)
+        text = t.summary()
+        assert PHASE_ANALYSIS in text
+        assert "stage" in text
+
+    def test_clear_resets_everything(self):
+        t = Tracer()
+        with t.phase(PHASE_LATTICE, "x"):
+            pass
+        t.begin_screen_stage(0)
+        t.end_screen_stage()
+        t.clear()
+        assert t.spans == [] and t.stages == []
+        assert t.totals() == {}
+
+
+class TestSbgtIntegration:
+    def test_screen_produces_phase_spans_and_stage_telemetry(self):
+        from repro.bayes.dilution import BinaryErrorModel
+        from repro.bayes.priors import PriorSpec
+        from repro.halving.policy import BHAPolicy
+        from repro.sbgt.session import SBGTSession
+
+        tracer = Tracer()
+        with Context(mode="serial") as ctx:
+            tracer.attach(ctx)
+            with tracer:
+                session = SBGTSession(
+                    ctx, PriorSpec.uniform(6, 0.1), BinaryErrorModel(0.99, 0.99)
+                )
+                session.run_screen(BHAPolicy(), rng=0)
+            tracer.detach(ctx)
+
+        totals = tracer.totals()
+        for phase in (PHASE_LATTICE, PHASE_SELECTION, PHASE_ANALYSIS):
+            assert phase in totals, f"no spans recorded for {phase}"
+            assert totals[phase]["spans"] > 0
+        assert tracer.stages, "screen stages should emit telemetry"
+        first = tracer.stages[0]
+        assert first.tests_run > 0
+        assert first.wall_s > 0

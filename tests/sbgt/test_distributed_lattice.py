@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.bayes.dilution import BinaryErrorModel, DilutionErrorModel
+from repro.bayes.dilution import DilutionErrorModel
 from repro.bayes.posterior import Posterior
 from repro.bayes.priors import PriorSpec
 from repro.lattice.builder import build_restricted_prior
-from repro.lattice.ops import entropy, map_state, marginals, top_states
+from repro.lattice.ops import map_state, marginals, top_states
 from repro.sbgt.distributed_lattice import DistributedLattice
 
 

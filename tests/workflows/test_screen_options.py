@@ -1,0 +1,143 @@
+"""ScreenOptions: validation, resolution, and driver equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel
+from repro.bayes.priors import PriorSpec
+from repro.engine import Context
+from repro.halving.policy import BHAPolicy
+from repro.sbgt.session import SBGTSession
+from repro.simulate.population import make_cohort
+from repro.workflows.classify import run_screen
+from repro.workflows.options import ScreenOptions, resolve_screen_options
+
+MODEL = BinaryErrorModel(0.99, 0.99)
+PRIOR = PriorSpec.uniform(6, 0.1)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        opts = ScreenOptions()
+        assert opts.positive_threshold == 0.99
+        assert opts.negative_threshold == 0.01
+        assert opts.max_stages == 50
+        assert opts.prune_epsilon == 0.0
+        assert opts.track_entropy is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"positive_threshold": 1.5},
+            {"negative_threshold": -0.1},
+            {"positive_threshold": 0.3, "negative_threshold": 0.4},
+            {"positive_threshold": 0.5, "negative_threshold": 0.5},
+            {"max_stages": 0},
+            {"prune_epsilon": 1.0},
+            {"prune_epsilon": -0.01},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScreenOptions(**kwargs)
+
+    def test_with_returns_validated_copy(self):
+        opts = ScreenOptions().with_(max_stages=5)
+        assert opts.max_stages == 5
+        assert ScreenOptions().max_stages == 50  # original untouched
+        with pytest.raises(ValueError):
+            opts.with_(max_stages=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ScreenOptions().max_stages = 3
+
+
+class TestResolution:
+    def test_options_passed_through(self):
+        opts = ScreenOptions(max_stages=7)
+        assert resolve_screen_options(opts, {}, "f") is opts
+
+    def test_no_args_yields_defaults(self):
+        assert resolve_screen_options(None, {}, "f") == ScreenOptions()
+
+    def test_custom_defaults_used(self):
+        d = ScreenOptions(max_stages=9)
+        assert resolve_screen_options(None, {}, "f", defaults=d) is d
+
+    def test_legacy_overrides_defaults_with_warning(self):
+        d = ScreenOptions(max_stages=9, track_entropy=True)
+        with pytest.warns(DeprecationWarning, match="max_stages.*deprecated"):
+            out = resolve_screen_options(None, {"max_stages": 3}, "f", defaults=d)
+        assert out.max_stages == 3
+        assert out.track_entropy is True  # non-overridden defaults survive
+
+    def test_unknown_keyword_raises_type_error(self):
+        with pytest.raises(TypeError, match=r"f\(\) got unexpected keyword.*max_stage\b"):
+            resolve_screen_options(None, {"max_stage": 3}, "f")
+
+    def test_options_plus_legacy_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_screen_options(ScreenOptions(), {"max_stages": 3}, "f")
+
+
+class TestWorkflowDriver:
+    def test_options_and_legacy_kwargs_equivalent(self):
+        cohort = make_cohort(PRIOR, rng=1)
+        new = run_screen(
+            PRIOR, MODEL, BHAPolicy(), rng=np.random.default_rng(0), cohort=cohort,
+            options=ScreenOptions(max_stages=10),
+        )
+        with pytest.warns(DeprecationWarning):
+            old = run_screen(
+                PRIOR, MODEL, BHAPolicy(), rng=np.random.default_rng(0), cohort=cohort,
+                max_stages=10,
+            )
+        assert new.stages_used == old.stages_used
+        assert new.efficiency.num_tests == old.efficiency.num_tests
+        assert new.report.statuses == old.report.statuses
+
+    def test_unknown_kwarg_names_driver(self):
+        with pytest.raises(TypeError, match=r"run_screen\(\)"):
+            run_screen(PRIOR, MODEL, BHAPolicy(), rng=0, bogus=1)
+
+    def test_max_stages_budget_respected(self):
+        cohort = make_cohort(PRIOR, rng=2)
+        res = run_screen(
+            PRIOR, MODEL, BHAPolicy(), rng=np.random.default_rng(0), cohort=cohort,
+            options=ScreenOptions(max_stages=1),
+        )
+        assert res.stages_used <= 1
+
+
+class TestSessionDriver:
+    def test_session_accepts_options_and_restores_config(self):
+        with Context(mode="serial") as ctx:
+            session = SBGTSession(ctx, PRIOR, MODEL)
+            before = session.config
+            res = session.run_screen(
+                BHAPolicy(), rng=0, options=ScreenOptions(max_stages=10)
+            )
+            assert res.stages_used <= 10
+            assert session.config == before  # temporary override rolled back
+
+    def test_session_legacy_kwargs_warn_and_match_options(self):
+        with Context(mode="serial") as ctx:
+            new = SBGTSession(ctx, PRIOR, MODEL).run_screen(
+                BHAPolicy(), rng=0, options=ScreenOptions(max_stages=10)
+            )
+            with pytest.warns(DeprecationWarning, match="SBGTSession.run_screen"):
+                old = SBGTSession(ctx, PRIOR, MODEL).run_screen(
+                    BHAPolicy(), rng=0, max_stages=10
+                )
+        assert new.stages_used == old.stages_used
+        assert new.report.statuses == old.report.statuses
+
+    def test_session_rejects_options_plus_legacy(self):
+        with Context(mode="serial") as ctx:
+            session = SBGTSession(ctx, PRIOR, MODEL)
+            with pytest.raises(TypeError, match="not both"):
+                session.run_screen(
+                    BHAPolicy(), rng=0,
+                    options=ScreenOptions(), max_stages=3,
+                )
