@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Closed-loop load generator for the serving layer.
+
+Boots a :class:`~repro.serve.app.ReproServer` in-process on an
+ephemeral port and drives it with N concurrent closed-loop clients
+(each fires its next request as soon as the previous response lands),
+then reports throughput, latency percentiles, the micro-batcher's
+coalescing ratio, and the cold/warm cache speedup.
+
+Usage::
+
+    python benchmarks/bench_serve_load.py                 # default mix
+    python benchmarks/bench_serve_load.py --clients 64 --requests 256
+    python benchmarks/bench_serve_load.py --distinct 8    # 8 request shapes
+
+The ``--distinct 1`` run is the ISSUE acceptance scenario: every client
+asks for the same calculator table, so requests must coalesce into a
+handful of jobs and repeats must come straight from the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.app import ReproServer, ServeConfig
+
+CALC_TEMPLATE = {"cohort": 8, "prevalences": [0.02, 0.05, 0.1], "replications": 5}
+
+
+async def _post(
+    host: str, port: int, path: str, body: Dict[str, Any]
+) -> Tuple[int, bytes, float]:
+    t0 = time.perf_counter()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode("utf-8")
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body_bytes, time.perf_counter() - t0
+
+
+async def _closed_loop_client(
+    host: str, port: int, bodies: List[Dict[str, Any]], latencies: List[float],
+    statuses: Dict[int, int],
+) -> None:
+    for body in bodies:
+        status, _, wall = await _post(host, port, "/calculator", body)
+        latencies.append(wall)
+        statuses[status] = statuses.get(status, 0) + 1
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+async def run_load(
+    clients: int,
+    requests: int,
+    distinct: int,
+    window_ms: float,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One load run; returns the report dict (also printable via main)."""
+    config = ServeConfig(
+        port=0,
+        workers=2,
+        compute_threads=4,
+        batch_window_s=window_ms / 1000.0,
+        max_inflight=max(64, clients * 2),
+        cache_entries=max(64, distinct * 2),
+    )
+    server = ReproServer(config)
+    host, port = await server.start()
+    try:
+        # Partition the request budget over closed-loop clients, cycling
+        # through `distinct` request shapes (seed varies, rest fixed).
+        shapes = [
+            {**CALC_TEMPLATE, "seed": seed + i} for i in range(distinct)
+        ]
+        per_client = max(1, requests // clients)
+        latencies: List[float] = []
+        statuses: Dict[int, int] = {}
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *[
+                _closed_loop_client(
+                    host, port,
+                    [shapes[(c + i) % distinct] for i in range(per_client)],
+                    latencies, statuses,
+                )
+                for c in range(clients)
+            ]
+        )
+        wall = time.perf_counter() - t0
+
+        # Warm-repeat probe: the same request twice, cold vs cache.
+        probe = {**CALC_TEMPLATE, "seed": seed + distinct + 1000}
+        _, _, cold = await _post(host, port, "/calculator", probe)
+        _, _, warm = await _post(host, port, "/calculator", probe)
+
+        latencies.sort()
+        batch = server.batcher.snapshot()
+        cache = server.cache.snapshot() if server.cache else {}
+        return {
+            "clients": clients,
+            "requests": len(latencies),
+            "distinct_shapes": distinct,
+            "wall_s": round(wall, 4),
+            "throughput_rps": round(len(latencies) / wall, 1) if wall else 0.0,
+            "statuses": statuses,
+            "latency_ms": {
+                "mean": round(statistics.fmean(latencies) * 1000, 2),
+                "p50": round(_quantile(latencies, 0.50) * 1000, 2),
+                "p95": round(_quantile(latencies, 0.95) * 1000, 2),
+                "max": round(latencies[-1] * 1000, 2),
+            },
+            "batcher": batch,
+            "cache": cache,
+            "cold_ms": round(cold * 1000, 2),
+            "warm_ms": round(warm * 1000, 2),
+            "warm_speedup": round(cold / warm, 1) if warm else float("inf"),
+        }
+    finally:
+        await server.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="total request budget across clients")
+    parser.add_argument("--distinct", type=int, default=1,
+                        help="distinct request shapes cycled through")
+    parser.add_argument("--window-ms", type=float, default=20.0,
+                        help="micro-batcher collection window")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(
+        run_load(args.clients, args.requests, args.distinct, args.window_ms,
+                 seed=args.seed)
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    ok = True
+    if args.distinct == 1:
+        jobs = report["batcher"]["jobs"]
+        if jobs >= 8:
+            print(f"FAIL: {report['requests']} identical requests ran {jobs} jobs "
+                  "(expected < 8)", file=sys.stderr)
+            ok = False
+        else:
+            print(f"ok: batching ratio {report['batcher']['batching_ratio']}x "
+                  f"({jobs} job(s) for {report['requests']} requests)",
+                  file=sys.stderr)
+    if report["warm_speedup"] < 10.0:
+        print(f"FAIL: warm repeat only {report['warm_speedup']}x faster "
+              "(expected >= 10x)", file=sys.stderr)
+        ok = False
+    else:
+        print(f"ok: warm repeat {report['warm_speedup']}x faster "
+              f"({report['cold_ms']}ms -> {report['warm_ms']}ms)", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands covering the workflows a surveillance program actually
-runs:
+Commands covering the workflows a surveillance program actually runs:
 
 * ``screen``       — classify one simulated cohort and print the report;
 * ``calculator``   — the pool/don't-pool decision table over prevalences;
 * ``surveillance`` — a multi-day campaign over an SIR epidemic wave;
 * ``scenarios``    — list the named (prior, assay) presets;
+* ``serve``        — the asyncio JSON API server (``repro.serve``);
 * ``trace``        — summarize a JSONL trace captured with ``--trace``
   (or :meth:`Tracer.dump_jsonl` / :meth:`MetricsRegistry.dump_jsonl`).
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``.  ``screen --json`` and
+``calculator --json`` print exactly the payload the server returns for
+the equivalent request, so CLI runs and API responses are diffable.
 """
 
 from __future__ import annotations
@@ -20,66 +22,47 @@ import json
 import sys
 from typing import List, Optional
 
-
-
-from repro.bayes.dilution import (
-    BinaryErrorModel,
-    DilutionErrorModel,
-    PerfectTest,
-    ResponseModel,
-)
+from repro.bayes.dilution import ResponseModel
 from repro.bayes.priors import PriorSpec
 from repro.engine import Context
-from repro.halving.hybrid import HybridPolicy
-from repro.halving.policy import (
-    ArrayTestingPolicy,
-    BHAPolicy,
-    DorfmanPolicy,
-    IndividualTestingPolicy,
-    InformationGainPolicy,
-    LookaheadPolicy,
-    SelectionPolicy,
-)
+from repro.halving.policy import BHAPolicy, SelectionPolicy
 from repro.metrics.reporting import format_table
 from repro.sbgt.config import SBGTConfig
 from repro.sbgt.session import SBGTSession
 from repro.simulate.scenario import SCENARIOS, get_scenario
 from repro.workflows.calculator import format_calculator_table, pooling_calculator
+from repro.workflows.payloads import POLICY_HELP, dump_payload, make_model, make_policy
 from repro.workflows.surveillance import run_surveillance
 
 __all__ = ["main", "build_parser"]
 
 
 def _make_policy(name: str) -> SelectionPolicy:
-    if name == "bha":
-        return BHAPolicy()
-    if name.startswith("lookahead-"):
-        return LookaheadPolicy(int(name.split("-", 1)[1]))
-    if name == "infogain":
-        return InformationGainPolicy()
-    if name.startswith("dorfman-"):
-        return DorfmanPolicy(int(name.split("-", 1)[1]))
-    if name.startswith("array-"):
-        rows, cols = name.split("-", 1)[1].split("x")
-        return ArrayTestingPolicy(int(rows), int(cols))
-    if name == "hybrid":
-        return HybridPolicy()
-    if name.startswith("hybrid-"):
-        return HybridPolicy(int(name.split("-", 1)[1]))
-    if name == "individual":
-        return IndividualTestingPolicy()
-    raise argparse.ArgumentTypeError(
-        f"unknown policy {name!r} "
-        "(try: bha, lookahead-2, infogain, dorfman-4, array-3x4, hybrid, individual)"
-    )
+    try:
+        return make_policy(name)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _policy_spec(policy) -> str:
+    """Recover the API spelling from a parsed ``--policy`` value."""
+    name = policy.name if isinstance(policy, SelectionPolicy) else policy
+    return "hybrid" if name == "hybrid-auto" else name
 
 
 def _make_model(args: argparse.Namespace) -> ResponseModel:
-    if args.assay == "perfect":
-        return PerfectTest()
-    if args.assay == "binary":
-        return BinaryErrorModel(args.sensitivity, args.specificity)
-    return DilutionErrorModel(args.sensitivity, args.specificity, args.dilution)
+    return make_model(args.assay, args.sensitivity, args.specificity, args.dilution)
+
+
+def _assay_spec(args: argparse.Namespace):
+    from repro.serve.protocol import AssaySpec
+
+    return AssaySpec(
+        assay=args.assay,
+        sensitivity=args.sensitivity,
+        specificity=args.specificity,
+        dilution=args.dilution,
+    )
 
 
 def _add_assay_args(p: argparse.ArgumentParser) -> None:
@@ -101,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_screen.add_argument("--prevalence", type=float, default=0.02)
     p_screen.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
                           help="use a named scenario instead of --prevalence/assay")
-    p_screen.add_argument("--policy", type=_make_policy, default="bha")
+    p_screen.add_argument("--policy", type=_make_policy, default="bha",
+                          help=f"selection policy ({POLICY_HELP})")
     p_screen.add_argument("--seed", type=int, default=0)
     p_screen.add_argument("--max-stages", type=int, default=60)
     p_screen.add_argument("--workers", type=int, default=4)
@@ -109,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="enable lattice contraction of settled diagnoses")
     p_screen.add_argument("--trace", metavar="PATH", default=None,
                           help="dump a phase-tagged JSONL trace of the screen")
+    p_screen.add_argument("--json", action="store_true",
+                          help="emit the API payload (same shape as POST /screen)")
     _add_assay_args(p_screen)
 
     p_calc = sub.add_parser("calculator", help="pool/don't-pool decision table")
@@ -116,8 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_calc.add_argument("--prevalences", type=float, nargs="+",
                         default=[0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30])
     p_calc.add_argument("--replications", type=int, default=15)
-    p_calc.add_argument("--policy", type=_make_policy, default="bha")
+    p_calc.add_argument("--policy", type=_make_policy, default="bha",
+                        help=f"selection policy ({POLICY_HELP})")
     p_calc.add_argument("--seed", type=int, default=0)
+    p_calc.add_argument("--json", action="store_true",
+                        help="emit the API payload (same shape as POST /calculator)")
     _add_assay_args(p_calc)
 
     p_surv = sub.add_parser("surveillance", help="multi-day campaign over an epidemic wave")
@@ -131,6 +120,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list named scenario presets")
 
+    p_serve = sub.add_parser("serve", help="run the asyncio JSON API server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="engine parallelism of the shared context")
+    p_serve.add_argument("--compute-threads", type=int, default=4,
+                         help="threads running workload jobs off the event loop")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="micro-batcher collection window (0 disables)")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="result-cache capacity (0 disables caching)")
+    p_serve.add_argument("--max-inflight", type=int, default=32,
+                         help="admission bound before requests get 429s")
+    p_serve.add_argument("--max-sessions", type=int, default=64)
+    p_serve.add_argument("--session-ttl", type=float, default=900.0,
+                         help="idle session expiry, seconds")
+
     p_trace = sub.add_parser("trace", help="summarize a dumped JSONL trace")
     p_trace.add_argument("path", help="trace file written by --trace or dump_jsonl()")
     return parser
@@ -140,6 +147,23 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     if args.cohort < 1 or args.cohort > 24:
         print("error: --cohort must be in [1, 24] (dense lattice)", file=sys.stderr)
         return 2
+    if args.json:
+        from repro.serve.protocol import ScreenRequest
+
+        request = ScreenRequest(
+            cohort=args.cohort,
+            prevalence=args.prevalence,
+            scenario=args.scenario,
+            policy=_policy_spec(args.policy),
+            seed=args.seed,
+            max_stages=args.max_stages,
+            compact=args.compact,
+            assay=_assay_spec(args),
+        )
+        with Context(mode="threads", parallelism=args.workers) as ctx:
+            payload = request.execute(ctx)
+        print(dump_payload(payload), end="")
+        return 0
     if args.scenario:
         prior, model = get_scenario(args.scenario).build(args.cohort, rng=args.seed)
     else:
@@ -185,8 +209,21 @@ def _cmd_screen(args: argparse.Namespace) -> int:
 
 
 def _cmd_calculator(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.serve.protocol import CalculatorRequest
+
+        request = CalculatorRequest(
+            cohort=args.cohort,
+            prevalences=tuple(float(p) for p in args.prevalences),
+            replications=args.replications,
+            policy=_policy_spec(args.policy),
+            seed=args.seed,
+            assay=_assay_spec(args),
+        )
+        print(dump_payload(request.execute()), end="")
+        return 0
     model = _make_model(args)
-    policy_name = args.policy.name if isinstance(args.policy, SelectionPolicy) else args.policy
+    policy_name = _policy_spec(args.policy)
 
     def factory() -> SelectionPolicy:
         return _make_policy(policy_name)
@@ -224,6 +261,40 @@ def _cmd_surveillance(args: argparse.Namespace) -> int:
     print(f"\ntotals: {campaign.total_tests} tests / {campaign.total_individuals} "
           f"individuals = {campaign.overall_tests_per_individual:.2f} tests/individual; "
           f"{campaign.detected_positives()}/{campaign.true_positives_present()} positives found")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import ServeConfig, serve
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            compute_threads=args.compute_threads,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            cache_entries=args.cache_entries,
+            max_inflight=args.max_inflight,
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro serve listening on http://{host}:{port}", file=sys.stderr)
+
+    try:
+        asyncio.run(serve(config, ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -318,6 +389,7 @@ _COMMANDS = {
     "calculator": _cmd_calculator,
     "surveillance": _cmd_surveillance,
     "scenarios": _cmd_scenarios,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -92,12 +92,20 @@ class BlockStore:
 
     def drop_rdd(self, rdd_id: int) -> int:
         """Evict every cached partition of one RDD; returns count dropped."""
+        evicted: List[Tuple[BlockKey, int]] = []
         with self._lock:
             keys = [k for k in self._blocks if k[0] == rdd_id]
             for k in keys:
-                self._used -= self._sizes.pop(k)
+                size = self._sizes.pop(k)
+                self._used -= size
                 del self._blocks[k]
-            return len(keys)
+                self.evictions += 1
+                evicted.append((k, size))
+        bus = self._bus
+        if bus:
+            for (rid, partition), size in evicted:
+                bus.post(CacheEvict(rid, partition, size))
+        return len(evicted)
 
     def clear(self) -> None:
         with self._lock:

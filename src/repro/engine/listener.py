@@ -43,6 +43,7 @@ __all__ = [
     "EngineListener",
     "EventBus",
     "RecordingListener",
+    "register_event_type",
 ]
 
 
@@ -194,6 +195,32 @@ _HANDLER_BY_TYPE: Dict[Type[EngineEvent], str] = {
 }
 
 
+def register_event_type(cls: Type[EngineEvent], kind: str) -> Type[EngineEvent]:
+    """Register an :class:`EngineEvent` subclass defined outside this module.
+
+    Upper layers (e.g. the serving front door) ride the same bus as the
+    engine but post their own event vocabulary.  Registration gives the
+    subclass a ``kind`` string and an ``on_<kind>`` dispatch slot, so
+    listeners that define that hook receive it through the normal
+    :meth:`EngineListener.on_event` path while listeners that don't
+    stay untouched.  Registering the same class twice with the same
+    kind is a no-op; re-using a kind for a different class is an error
+    (it would make ``kind`` ambiguous in exported traces).
+    """
+    if not (isinstance(cls, type) and issubclass(cls, EngineEvent)):
+        raise TypeError(f"{cls!r} is not an EngineEvent subclass")
+    current = _KIND_BY_TYPE.get(cls)
+    if current is not None:
+        if current != kind:
+            raise ValueError(f"{cls.__name__} already registered as {current!r}")
+        return cls
+    if kind in _KIND_BY_TYPE.values():
+        raise ValueError(f"event kind {kind!r} already taken")
+    _KIND_BY_TYPE[cls] = kind
+    _HANDLER_BY_TYPE[cls] = f"on_{kind}"
+    return cls
+
+
 class EngineListener:
     """Override the hooks you care about; defaults are all no-ops.
 
@@ -203,10 +230,17 @@ class EngineListener:
     """
 
     def on_event(self, event: EngineEvent) -> None:
-        """Dispatch *event* to its typed ``on_<kind>`` hook."""
+        """Dispatch *event* to its typed ``on_<kind>`` hook.
+
+        Events of registered extension types (see
+        :func:`register_event_type`) dispatch the same way; a listener
+        without the matching hook simply ignores them.
+        """
         handler = _HANDLER_BY_TYPE.get(type(event))
         if handler is not None:
-            getattr(self, handler)(event)
+            hook = getattr(self, handler, None)
+            if hook is not None:
+                hook(event)
 
     def on_job_start(self, event: JobStart) -> None:
         """Hook: a job entered the scheduler."""

@@ -25,12 +25,14 @@ from repro.sbgt.selector import (
 )
 from repro.sbgt.analyzer import DistributedAnalyzer
 from repro.sbgt.session import SBGTSession
+from repro.sbgt.stepper import ScreenStepper
 
 __all__ = [
     "SBGTConfig",
     "DistributedLattice",
     "DistributedAnalyzer",
     "SBGTSession",
+    "ScreenStepper",
     "down_set_masses_distributed",
     "select_halving_pool_distributed",
     "select_infogain_pool_distributed",

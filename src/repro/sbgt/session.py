@@ -38,9 +38,6 @@ from repro.halving.policy import (
     LookaheadPolicy,
     SelectionPolicy,
 )
-from repro.metrics.classification import evaluate_classification
-from repro.metrics.efficiency import efficiency_report
-from repro.obs.tracer import current_tracer
 from repro.sbgt.analyzer import DistributedAnalyzer
 from repro.sbgt.config import SBGTConfig
 from repro.sbgt.distributed_lattice import DistributedLattice, PruneStats
@@ -304,69 +301,17 @@ class SBGTSession:
     def _run_screen_loop(
         self, policy, rng, cohort, stopping_rule, _loss_final_report
     ) -> ScreenResult:
+        from repro.sbgt.stepper import ScreenStepper
+
         gen = as_rng(rng)
         if cohort is None:
             cohort = make_cohort(self.prior, gen)
         lab = TestLab(self.model, cohort.truth_mask, gen)
-        policy.reset()
-
-        stages_used = 0
-        exhausted = False
-        report = self.classify()
-        self._compact_settled(report)
-        while not report.all_classified:
-            if stopping_rule is not None and stopping_rule.should_stop(report.marginals):
-                report = _loss_final_report(report.marginals, stopping_rule)
-                break
-            if stages_used >= self.config.max_stages:
-                exhausted = True
-                break
-            eligible = 0
-            for i in report.undetermined():
-                eligible |= 1 << i
-            pools = self.select_pools(policy, eligible)
-            if not pools:
-                raise RuntimeError(f"policy {policy.name} proposed no pools")
-            self.begin_stage()
-            tracer = current_tracer()
-            if tracer is not None:
-                tracer.begin_screen_stage(self._stage)
-            stages_used += 1
-            records = []
-            for pool in pools:
-                outcome = lab.run(pool)
-                records.append(self.update(pool, outcome))
-            prune_stats = self.prune()
-            report = self.classify()
-            self._compact_settled(report)
-            if tracer is not None:
-                drop = None
-                if (
-                    records
-                    and records[0].entropy_before is not None
-                    and records[-1].entropy_after is not None
-                ):
-                    drop = records[0].entropy_before - records[-1].entropy_after
-                tracer.end_screen_stage(
-                    pools_proposed=len(pools),
-                    tests_run=len(records),
-                    entropy_drop=drop,
-                    states_pruned=prune_stats.dropped_states if prune_stats else 0,
-                )
-
-        confusion = evaluate_classification(report, cohort.truth_mask)
-        eff = efficiency_report(
-            cohort.n_items, lab.stats.num_tests, stages_used, lab.stats.num_samples_used
-        )
-        return ScreenResult(
-            cohort=cohort,
-            report=report,
-            confusion=confusion,
-            efficiency=eff,
-            posterior=self,  # duck-typed: exposes marginals/entropy/log
-            stages_used=stages_used,
-            exhausted_budget=exhausted,
-        )
+        stepper = ScreenStepper(self, policy, stopping_rule=stopping_rule)
+        while not stepper.done:
+            pools = stepper.next_pools()
+            stepper.submit_outcomes([lab.run(pool) for pool in pools])
+        return stepper.result(cohort)
 
     # ------------------------------------------------------------------
     # persistence

@@ -1,0 +1,432 @@
+"""The serving application: routing, backpressure, shared engine context.
+
+``ReproServer`` is the front door the ROADMAP's "heavy traffic" north
+star needs: one long-lived engine :class:`~repro.engine.context.Context`
+shared across requests, CPU work pushed off the event loop onto a
+bounded thread pool, identical concurrent requests coalesced by the
+:class:`~repro.serve.batcher.MicroBatcher`, repeat requests served from
+the :class:`~repro.serve.cache.ResultCache`, and a bounded admission
+queue that sheds load with 429 (compute queue full) / 503 (session
+registry full) instead of melting down.
+
+Endpoints (all JSON)::
+
+    GET  /healthz                      liveness + queue depth
+    GET  /metrics                      bus-fed counters and latency histograms
+    POST /calculator                   pool/don't-pool decision table
+    POST /screen                       one-shot cohort classification
+    POST /sessions                     start an interactive screen
+    GET  /sessions/{id}                session snapshot
+    GET  /sessions/{id}/next-pool      next stage's pool proposals
+    POST /sessions/{id}/results        submit assay outcomes
+    DELETE /sessions/{id}              close a session
+
+Responses for ``/calculator`` and ``/screen`` are byte-identical to
+``python -m repro calculator --json`` / ``screen --json``; serving
+metadata (cache/batch disposition) travels in ``X-Repro-Source``
+headers so the bodies stay diffable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.engine.context import Context
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.events import BatchExecuted, RequestEnd, ServeMetricsListener, SessionEvent
+from repro.serve.http import HttpError, HttpServer, Request, Response, json_response
+from repro.serve.protocol import (
+    BadRequest,
+    CalculatorRequest,
+    ScreenRequest,
+    SessionCreateRequest,
+)
+from repro.serve.sessions import ServeSession, SessionLimitError, SessionRegistry
+
+__all__ = ["ServeConfig", "ReproServer", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server tuning knobs (all CLI-exposed via ``repro serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: Engine parallelism of the shared context (thread mode).
+    workers: int = 4
+    #: Threads that run workload jobs off the event loop.
+    compute_threads: int = 4
+    #: Micro-batcher collection window, seconds.
+    batch_window_s: float = 0.002
+    #: Result-cache capacity, entries (0 disables caching).
+    cache_entries: int = 256
+    #: Admission bound: queued+running compute jobs before 429s.
+    max_inflight: int = 32
+    max_sessions: int = 64
+    session_ttl_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.compute_threads < 1:
+            raise ValueError("compute_threads must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.cache_entries < 0:
+            raise ValueError("cache_entries must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+
+class ReproServer:
+    """One serving process: engine context + HTTP front end."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.ctx = Context(mode="threads", parallelism=self.config.workers)
+        self.metrics_listener = ServeMetricsListener()
+        self.ctx.add_listener(self.metrics_listener)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_entries) if self.config.cache_entries else None
+        )
+        self.sessions = SessionRegistry(
+            self.ctx, self.config.max_sessions, self.config.session_ttl_s
+        )
+        self.batcher = MicroBatcher(
+            self._run_compute,
+            window_s=self.config.batch_window_s,
+            on_batch=self._post_batch_event,
+        )
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.compute_threads, thread_name_prefix="serve-compute"
+        )
+        # Conservative: distributed-lattice jobs share one Context, so
+        # engine-touching thunks serialize here while the serial-path
+        # calculator replications run concurrently on the pool.
+        self._engine_lock = threading.Lock()
+        self._inflight = 0
+        self._started = time.monotonic()
+        self._http = HttpServer(self.handle, self.config.host, self.config.port)
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener; returns the actual (host, port)."""
+        host, port = await self._http.start()
+        self._sweeper = asyncio.get_running_loop().create_task(self._sweep_loop())
+        return host, port
+
+    async def serve_forever(self) -> None:
+        await self._http.serve_forever()
+
+    async def close(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        await self._http.close()
+        self.sessions.close_all()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        self.ctx.stop()
+
+    async def _sweep_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(min(60.0, max(1.0, self.config.session_ttl_s / 4)))
+                for sid in self.sessions.sweep():
+                    self._post(SessionEvent(sid, "expired"))
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # compute plumbing
+    # ------------------------------------------------------------------
+    async def _run_compute(self, thunk: Callable[[], Any]) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, thunk)
+
+    def _post(self, event) -> None:
+        bus = self.ctx.event_bus
+        if bus:
+            bus.post(event)
+
+    def _post_batch_event(self, key: str, waiters: int, wall_s: float) -> None:
+        self._post(BatchExecuted(key, waiters, wall_s))
+
+    def _admit(self) -> None:
+        if self._inflight >= self.config.max_inflight:
+            raise HttpError(
+                429,
+                f"compute queue full ({self.config.max_inflight} in flight); retry",
+            )
+        self._inflight += 1
+
+    async def _cached_batched(
+        self, endpoint: str, key: str, thunk: Callable[[], Any]
+    ) -> Tuple[Dict[str, Any], str]:
+        """The shared fast path: cache → micro-batcher → executor."""
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit, "cache"
+        jobs_before = self.batcher.jobs
+        self._admit()
+        try:
+            payload = await self.batcher.submit(key, thunk)
+        finally:
+            self._inflight -= 1
+        source = "computed" if self.batcher.jobs > jobs_before else "batched"
+        if self.cache is not None:
+            self.cache.put(key, payload)
+        return payload, source
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        t0 = time.perf_counter()
+        endpoint, response, source = await self._route(request)
+        wall = time.perf_counter() - t0
+        if 400 <= response.status < 500:
+            source = "rejected"
+        elif response.status >= 500:
+            source = "error"
+        self._post(RequestEnd(endpoint, response.status, wall, source))
+        response.headers.setdefault("X-Repro-Source", source)
+        return response
+
+    async def _route(self, request: Request) -> Tuple[str, Response, str]:
+        segments = [s for s in request.path.split("/") if s]
+        method = request.method
+        try:
+            if segments == ["healthz"] and method == "GET":
+                return "/healthz", self._healthz(), "computed"
+            if segments == ["metrics"] and method == "GET":
+                return "/metrics", self._metrics(), "computed"
+            if segments == ["calculator"] and method == "POST":
+                return await self._calculator(request)
+            if segments == ["screen"] and method == "POST":
+                return await self._screen(request)
+            if segments == ["sessions"] and method == "POST":
+                return await self._session_create(request)
+            if len(segments) == 2 and segments[0] == "sessions":
+                if method == "GET":
+                    return self._session_get(segments[1])
+                if method == "DELETE":
+                    return await self._session_delete(segments[1])
+                raise HttpError(405, f"{method} not allowed here")
+            if (
+                len(segments) == 3
+                and segments[0] == "sessions"
+                and segments[2] == "next-pool"
+                and method == "GET"
+            ):
+                return await self._session_next_pool(segments[1])
+            if (
+                len(segments) == 3
+                and segments[0] == "sessions"
+                and segments[2] == "results"
+                and method == "POST"
+            ):
+                return await self._session_results(request, segments[1])
+            if segments and segments[0] in (
+                "healthz", "metrics", "calculator", "screen", "sessions"
+            ):
+                raise HttpError(405, f"{method} not allowed on /{'/'.join(segments)}")
+            raise HttpError(404, f"no such endpoint: /{'/'.join(segments)}")
+        except BadRequest as exc:
+            endpoint = "/" + (segments[0] if segments else "")
+            return endpoint, json_response({"error": str(exc)}, 400), "rejected"
+        except SessionLimitError as exc:
+            return "/sessions", json_response({"error": str(exc)}, 503), "rejected"
+        except HttpError as exc:
+            endpoint = "/" + (segments[0] if segments else "")
+            return (
+                endpoint,
+                json_response({"error": exc.message}, exc.status),
+                "rejected",
+            )
+
+    # ------------------------------------------------------------------
+    # stateless endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Response:
+        return json_response(
+            {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "inflight": self._inflight,
+                "sessions": len(self.sessions),
+            }
+        )
+
+    def _metrics(self) -> Response:
+        doc = self.metrics_listener.snapshot()
+        doc["uptime_s"] = round(time.monotonic() - self._started, 3)
+        doc["batcher"]["counters"] = self.batcher.snapshot()
+        doc["result_cache"] = (
+            self.cache.snapshot() if self.cache is not None else {"enabled": False}
+        )
+        doc["session_registry"] = self.sessions.snapshot()
+        doc["engine"]["registry_jobs"] = len(self.ctx.metrics.jobs)
+        doc["engine"]["registry_task_time_s"] = round(
+            self.ctx.metrics.total_task_time(), 6
+        )
+        return json_response(doc)
+
+    async def _calculator(self, request: Request) -> Tuple[str, Response, str]:
+        req = CalculatorRequest.from_payload(request.json())
+        payload, source = await self._cached_batched(
+            "/calculator", req.key(), req.execute
+        )
+        return "/calculator", json_response(payload), source
+
+    async def _screen(self, request: Request) -> Tuple[str, Response, str]:
+        req = ScreenRequest.from_payload(request.json())
+        ctx = self.ctx
+        lock = self._engine_lock
+
+        def thunk() -> Dict[str, Any]:
+            with lock:
+                return req.execute(ctx)
+
+        payload, source = await self._cached_batched("/screen", req.key(), thunk)
+        return "/screen", json_response(payload), source
+
+    # ------------------------------------------------------------------
+    # session endpoints
+    # ------------------------------------------------------------------
+    def _require_session(self, session_id: str) -> ServeSession:
+        serve_session = self.sessions.get(session_id)
+        if serve_session is None:
+            raise HttpError(404, f"no such session: {session_id}")
+        serve_session.touch()
+        return serve_session
+
+    async def _session_create(self, request: Request) -> Tuple[str, Response, str]:
+        req = SessionCreateRequest.from_payload(request.json())
+        registry, lock = self.sessions, self._engine_lock
+
+        def thunk() -> ServeSession:
+            with lock:
+                return registry.create(req)
+
+        self._admit()
+        try:
+            serve_session = await self._run_compute(thunk)
+        finally:
+            self._inflight -= 1
+        self._post(SessionEvent(serve_session.id, "created"))
+        return "/sessions", json_response(serve_session.snapshot(), 201), "computed"
+
+    def _session_get(self, session_id: str) -> Tuple[str, Response, str]:
+        serve_session = self._require_session(session_id)
+        return "/sessions/{id}", json_response(serve_session.snapshot()), "computed"
+
+    async def _session_next_pool(self, session_id: str) -> Tuple[str, Response, str]:
+        serve_session = self._require_session(session_id)
+        lock = self._engine_lock
+
+        def thunk() -> Dict[str, Any]:
+            with lock:
+                return serve_session.proposal_payload()
+
+        self._admit()
+        try:
+            async with serve_session.lock:
+                payload = await self._run_compute(thunk)
+        finally:
+            self._inflight -= 1
+        return "/sessions/{id}/next-pool", json_response(payload), "computed"
+
+    async def _session_results(
+        self, request: Request, session_id: str
+    ) -> Tuple[str, Response, str]:
+        serve_session = self._require_session(session_id)
+        body = request.json()
+        if not isinstance(body, dict) or "outcomes" not in body:
+            raise BadRequest("body must be an object with an 'outcomes' array")
+        outcomes = body["outcomes"]
+        if not isinstance(outcomes, list) or not outcomes or not all(
+            isinstance(o, (bool, int, float)) for o in outcomes
+        ):
+            raise BadRequest(
+                "outcomes must be a non-empty array of booleans or numbers"
+            )
+        unknown = sorted(set(body) - {"outcomes"})
+        if unknown:
+            raise BadRequest(f"unknown results field(s): {', '.join(unknown)}")
+        lock = self._engine_lock
+
+        def thunk() -> Dict[str, Any]:
+            with lock:
+                stepper = serve_session.stepper
+                if stepper.done:
+                    raise BadRequest("screen already finished")
+                if stepper.pending_pools is None:
+                    raise BadRequest(
+                        "no pools outstanding; GET /sessions/{id}/next-pool first"
+                    )
+                try:
+                    records = stepper.submit_outcomes(outcomes)
+                except ValueError as exc:
+                    raise BadRequest(str(exc)) from None
+                snapshot = serve_session.snapshot()
+                snapshot["records"] = [
+                    {
+                        "stage": r.stage,
+                        "pool_mask": r.pool_mask,
+                        "pool_size": r.pool_size,
+                        "outcome": r.outcome
+                        if isinstance(r.outcome, (bool, int, float))
+                        else float(r.outcome),
+                        "log_predictive": float(r.log_predictive),
+                    }
+                    for r in records
+                ]
+                return snapshot
+
+        self._admit()
+        try:
+            async with serve_session.lock:
+                payload = await self._run_compute(thunk)
+        finally:
+            self._inflight -= 1
+        return "/sessions/{id}/results", json_response(payload), "computed"
+
+    async def _session_delete(self, session_id: str) -> Tuple[str, Response, str]:
+        serve_session = self._require_session(session_id)
+        async with serve_session.lock:
+            closed = self.sessions.close(serve_session.id)
+        if closed:
+            self._post(SessionEvent(serve_session.id, "closed"))
+        return (
+            "/sessions/{id}",
+            json_response({"session_id": serve_session.id, "closed": closed}),
+            "computed",
+        )
+
+
+async def serve(config: Optional[ServeConfig] = None, *, ready=None) -> None:
+    """Run a server until cancelled (the ``repro serve`` entry point).
+
+    *ready*, when given, is called with the bound ``(host, port)`` once
+    the listener is up — the CLI prints it, tests grab the port.
+    """
+    server = ReproServer(config)
+    try:
+        host, port = await server.start()
+        if ready is not None:
+            ready(host, port)
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()

@@ -1,0 +1,117 @@
+"""Request micro-batching: coalesce identical concurrent work.
+
+Sequential Bayesian screens are deterministic given (scenario, policy,
+options, seed), so two concurrent requests with the same canonical key
+*must* produce the same payload — running the engine job twice is pure
+waste.  The :class:`MicroBatcher` runs it once: the first arrival for a
+key becomes the **leader**, waits out a short collection window (letting
+the rest of a traffic burst pile on), executes the thunk in a worker
+thread, and fans the result back to every waiter through one shared
+future.  Requests arriving while the job is already executing still
+attach to it.
+
+This is single-flight with a window — the same trick a web calculator
+front end needs when a classroom of epidemiologists all press
+"compute" on the default parameters at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, Dict, Optional
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Key-coalescing executor front end.
+
+    Parameters
+    ----------
+    run_in_executor:
+        Async callable taking a zero-arg sync thunk and returning its
+        result off the event loop (the app passes a bound
+        ``loop.run_in_executor`` wrapper).
+    window_s:
+        Leader's collection pause before dispatching.  ``0`` disables
+        the window (still single-flight).
+    on_batch:
+        Optional callback ``(key, waiters, wall_s)`` fired after each
+        executed job (the app posts a ``BatchExecuted`` bus event).
+    """
+
+    def __init__(
+        self,
+        run_in_executor: Callable[[Callable[[], Any]], Awaitable[Any]],
+        window_s: float = 0.002,
+        on_batch: Optional[Callable[[str, int, float], None]] = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        self._run = run_in_executor
+        self.window_s = float(window_s)
+        self._on_batch = on_batch
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._waiters: Dict[str, int] = {}
+        # counters for /metrics and the load benchmark
+        self.requests = 0
+        self.jobs = 0
+        self.coalesced = 0
+
+    @property
+    def batching_ratio(self) -> float:
+        """Requests served per engine job (>= 1; higher is better)."""
+        return self.requests / self.jobs if self.jobs else 0.0
+
+    async def submit(self, key: str, thunk: Callable[[], Any]) -> Any:
+        """Return the result of ``thunk()``, deduplicated by *key*.
+
+        Every concurrent caller with the same key gets the same result
+        object (payloads are treated as immutable).  If the job raises,
+        all waiters see the exception.
+        """
+        self.requests += 1
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            self._waiters[key] = self._waiters.get(key, 1) + 1
+            # shield: one waiter's cancellation must not kill the shared job
+            return await asyncio.shield(existing)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._waiters[key] = 1
+        self.jobs += 1
+        t0 = time.perf_counter()
+        try:
+            if self.window_s > 0.0:
+                await asyncio.sleep(self.window_s)
+            result = await self._run(thunk)
+        except BaseException as exc:
+            waiters = self._waiters.pop(key, 1)
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+            # the leader re-raises through the future so the exception
+            # is always retrieved even with zero extra waiters
+            return await future
+        else:
+            waiters = self._waiters.pop(key, 1)
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(result)
+            if self._on_batch is not None:
+                self._on_batch(key, waiters, time.perf_counter() - t0)
+            return await future
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for ``/metrics``."""
+        return {
+            "requests": self.requests,
+            "jobs": self.jobs,
+            "coalesced": self.coalesced,
+            "inflight_keys": len(self._inflight),
+            "batching_ratio": round(self.batching_ratio, 3),
+        }

@@ -1,0 +1,79 @@
+"""LRU result cache keyed by canonical request hashes.
+
+Same eviction pattern as the engine's
+:class:`~repro.engine.blockstore.BlockStore` — an :class:`OrderedDict`
+moved-to-end on hit, popped from the front under pressure, with
+hit/miss/eviction counters — but keyed by request digests and bounded
+by entry count (server responses are small and uniform, so byte
+accounting would be noise).  Thread-safe: the event loop reads it while
+executor threads populate it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU of finished response payloads."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, payload: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = payload
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = payload
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for ``/metrics``."""
+        with self._lock:
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

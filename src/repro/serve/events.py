@@ -1,0 +1,211 @@
+"""Serving-layer events on the engine's listener bus, and their reducer.
+
+The server posts its own event vocabulary — request lifecycle, batch
+execution, session lifecycle — on the **same** :class:`EventBus` the
+engine emits job/stage/task/cache events on (PR 1's telemetry spine).
+:class:`ServeMetricsListener` subscribes to that bus and folds the
+combined stream into what ``GET /metrics`` reports: per-endpoint
+request counts and latency histograms, batching counters, engine job
+totals.  Nothing here polls; the bus pushes.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.engine.listener import (
+    EngineEvent,
+    EngineListener,
+    JobEnd,
+    TaskEnd,
+    register_event_type,
+)
+
+__all__ = [
+    "RequestEnd",
+    "BatchExecuted",
+    "SessionEvent",
+    "LatencyHistogram",
+    "ServeMetricsListener",
+]
+
+
+@dataclass(frozen=True)
+class RequestEnd(EngineEvent):
+    """One HTTP request finished (any status).
+
+    ``source`` says how the response was produced: ``computed`` (ran the
+    workload), ``batched`` (rode another request's engine job),
+    ``cache`` (served from the result cache), ``rejected``
+    (backpressure/validation), or ``error``.
+    """
+
+    endpoint: str
+    status: int
+    wall_s: float
+    source: str = "computed"
+
+
+@dataclass(frozen=True)
+class BatchExecuted(EngineEvent):
+    """The micro-batcher ran one coalesced job for ``waiters`` requests."""
+
+    key: str
+    waiters: int
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class SessionEvent(EngineEvent):
+    """Interactive-session lifecycle (``action``: created/closed/expired)."""
+
+    session_id: str
+    action: str
+
+
+register_event_type(RequestEnd, "request_end")
+register_event_type(BatchExecuted, "batch_executed")
+register_event_type(SessionEvent, "session_event")
+
+#: Latency bucket upper bounds, milliseconds (last bucket is +inf).
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram with percentile estimates."""
+
+    __slots__ = ("counts", "count", "total_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, wall_s: float) -> None:
+        ms = wall_s * 1000.0
+        self.counts[bisect_left(LATENCY_BUCKETS_MS, ms)] += 1
+        self.count += 1
+        self.total_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile in ms."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if i < len(LATENCY_BUCKETS_MS):
+                    return float(LATENCY_BUCKETS_MS[i])
+                return self.max_ms
+        return self.max_ms
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
+            "max_ms": round(self.max_ms, 3),
+            "buckets_ms": list(LATENCY_BUCKETS_MS),
+            "bucket_counts": list(self.counts),
+        }
+
+
+class _EndpointStats:
+    __slots__ = ("requests", "by_status", "by_source", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.by_status: Dict[str, int] = {}
+        self.by_source: Dict[str, int] = {}
+        self.latency = LatencyHistogram()
+
+
+class ServeMetricsListener(EngineListener):
+    """Folds the bus stream into the ``/metrics`` document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, _EndpointStats] = {}
+        self._batch_jobs = 0
+        self._batch_waiters = 0
+        self._sessions: Dict[str, int] = {}
+        self._engine_jobs = 0
+        self._engine_job_wall_s = 0.0
+        self._engine_tasks = 0
+
+    # serve-side events -------------------------------------------------
+    def on_request_end(self, event: RequestEnd) -> None:
+        with self._lock:
+            stats = self._endpoints.get(event.endpoint)
+            if stats is None:
+                stats = self._endpoints[event.endpoint] = _EndpointStats()
+            stats.requests += 1
+            status = str(event.status)
+            stats.by_status[status] = stats.by_status.get(status, 0) + 1
+            stats.by_source[event.source] = stats.by_source.get(event.source, 0) + 1
+            stats.latency.observe(event.wall_s)
+
+    def on_batch_executed(self, event: BatchExecuted) -> None:
+        with self._lock:
+            self._batch_jobs += 1
+            self._batch_waiters += event.waiters
+
+    def on_session_event(self, event: SessionEvent) -> None:
+        with self._lock:
+            self._sessions[event.action] = self._sessions.get(event.action, 0) + 1
+
+    # engine events (PR 1 vocabulary) -----------------------------------
+    def on_job_end(self, event: JobEnd) -> None:
+        with self._lock:
+            self._engine_jobs += 1
+            self._engine_job_wall_s += event.wall_s
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        with self._lock:
+            self._engine_tasks += 1
+
+    # export -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            endpoints: Dict[str, Any] = {}
+            for name, stats in sorted(self._endpoints.items()):
+                endpoints[name] = {
+                    "requests": stats.requests,
+                    "by_status": dict(stats.by_status),
+                    "by_source": dict(stats.by_source),
+                    "latency": stats.latency.snapshot(),
+                }
+            waiters, jobs = self._batch_waiters, self._batch_jobs
+            return {
+                "endpoints": endpoints,
+                "batcher": {
+                    "jobs": jobs,
+                    "waiters": waiters,
+                    "batching_ratio": round(waiters / jobs, 3) if jobs else 0.0,
+                },
+                "sessions": dict(self._sessions),
+                "engine": {
+                    "jobs": self._engine_jobs,
+                    "tasks": self._engine_tasks,
+                    "job_wall_s": round(self._engine_job_wall_s, 6),
+                },
+            }
+
+
+def request_totals(listener: ServeMetricsListener) -> List[str]:
+    """Flat endpoint summary lines (handy for logs/tests)."""
+    snap = listener.snapshot()
+    return [
+        f"{name}: {info['requests']} requests, p95={info['latency']['p95_ms']}ms"
+        for name, info in snap["endpoints"].items()
+    ]

@@ -1,0 +1,241 @@
+"""Minimal asyncio HTTP/1.1 plumbing (stdlib only).
+
+``asyncio.start_server`` + a hand-rolled request parser: request line,
+headers, ``Content-Length``-framed body, keep-alive by default.  This
+is deliberately the smallest HTTP surface the JSON API needs — no
+chunked encoding, no TLS, no multipart — because the repo's hard
+constraint is *no third-party runtime dependencies*.  Anything fancy
+belongs in a reverse proxy in front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "Request", "Response", "json_response", "HttpServer"]
+
+MAX_HEADER_BYTES = 16 * 1024
+DEFAULT_MAX_BODY = 1 << 20  # 1 MiB of JSON is already an abusive request
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Protocol-level failure carrying the status to send back."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON (empty body → ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from None
+
+
+@dataclass
+class Response:
+    """What a handler returns; serialized by the connection loop."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = {
+            "Content-Type": self.content_type,
+            "Content-Length": str(len(self.body)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            **self.headers,
+        }
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def json_response(
+    payload: Any,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """JSON body in the diff-stable wire format (sorted keys, 2-space)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    return head
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str], Dict[str, str]]:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:
+        raise HttpError(400, "undecodable request head") from None
+    request_line, *header_lines = text.split("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, query, headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: Dict[str, str], max_body: int
+) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(501, "chunked transfer encoding is not supported")
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {raw!r}") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > max_body:
+        raise HttpError(413, f"request body exceeds {max_body} bytes")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HttpError(400, "truncated request body") from None
+
+
+class HttpServer:
+    """Keep-alive asyncio HTTP server delegating to one async handler."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body: int = DEFAULT_MAX_BODY,
+    ) -> None:
+        self._handler = handler
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES + DEFAULT_MAX_BODY,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await _read_head(reader)
+                    if head is None:
+                        break
+                    method, path, query, headers = _parse_head(head)
+                    body = await _read_body(reader, headers, self.max_body)
+                except HttpError as exc:
+                    writer.write(
+                        json_response({"error": exc.message}, exc.status).encode(False)
+                    )
+                    await writer.drain()
+                    break
+
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                request = Request(method, path, query, headers, body)
+                try:
+                    response = await self._handler(request)
+                except HttpError as exc:
+                    response = json_response({"error": exc.message}, exc.status)
+                except Exception as exc:  # noqa: BLE001 - handler bugs must not kill the server
+                    response = json_response(
+                        {"error": f"internal error: {type(exc).__name__}: {exc}"}, 500
+                    )
+                writer.write(response.encode(keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass

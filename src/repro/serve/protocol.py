@@ -1,0 +1,374 @@
+"""Request parsing and serialization for the serving layer.
+
+Each endpoint's JSON body parses into a frozen request dataclass that
+validates eagerly (:class:`BadRequest` maps to HTTP 400), normalizes
+into a canonical parameter dict (the echo in responses, and the input
+to the result-cache / micro-batcher key), and knows how to *execute*
+itself against the workflow layer.  The CLI builds the same dataclasses
+from argparse namespaces, which is what makes ``--json`` output and
+server responses byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.bayes.dilution import ResponseModel
+from repro.bayes.priors import PriorSpec
+from repro.halving.policy import SelectionPolicy
+from repro.sbgt.config import SBGTConfig
+from repro.simulate.scenario import SCENARIOS, get_scenario
+from repro.workflows.payloads import (
+    calculator_payload,
+    make_model,
+    make_policy,
+    request_digest,
+    screen_payload,
+)
+
+__all__ = [
+    "BadRequest",
+    "AssaySpec",
+    "CalculatorRequest",
+    "ScreenRequest",
+    "SessionCreateRequest",
+    "MAX_COHORT",
+]
+
+#: Dense-lattice ceiling shared with the CLI's ``--cohort`` bound.
+MAX_COHORT = 24
+
+
+class BadRequest(ValueError):
+    """Client-side request error (HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BadRequest(message)
+
+
+def _get_int(payload: Mapping[str, Any], key: str, default: int) -> int:
+    value = payload.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{key} must be an integer")
+    return value
+
+
+def _get_float(payload: Mapping[str, Any], key: str, default: float) -> float:
+    value = payload.get(key, default)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{key} must be a number")
+    return float(value)
+
+
+def _get_bool(payload: Mapping[str, Any], key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    _require(isinstance(value, bool), f"{key} must be a boolean")
+    return value
+
+
+def _check_keys(payload: Mapping[str, Any], allowed: frozenset, what: str) -> None:
+    unknown = sorted(set(payload) - allowed)
+    _require(not unknown, f"unknown {what} field(s): {', '.join(unknown)}")
+
+
+@dataclass(frozen=True)
+class AssaySpec:
+    """Flat assay parameters (mirrors the CLI's ``--assay`` flags)."""
+
+    assay: str = "dilution"
+    sensitivity: float = 0.98
+    specificity: float = 0.995
+    dilution: float = 0.3
+
+    _FIELDS = frozenset({"assay", "sensitivity", "specificity", "dilution"})
+
+    @classmethod
+    def from_payload(cls, payload: Optional[Mapping[str, Any]]) -> "AssaySpec":
+        if payload is None:
+            return cls()
+        _require(isinstance(payload, Mapping), "assay must be an object")
+        _check_keys(payload, cls._FIELDS, "assay")
+        assay = payload.get("assay", "dilution")
+        _require(assay in ("perfect", "binary", "dilution"),
+                 "assay must be one of: perfect, binary, dilution")
+        spec = cls(
+            assay=assay,
+            sensitivity=_get_float(payload, "sensitivity", 0.98),
+            specificity=_get_float(payload, "specificity", 0.995),
+            dilution=_get_float(payload, "dilution", 0.3),
+        )
+        _require(0.5 < spec.sensitivity <= 1.0, "sensitivity must be in (0.5, 1]")
+        _require(0.5 < spec.specificity <= 1.0, "specificity must be in (0.5, 1]")
+        _require(0.0 <= spec.dilution <= 1.0, "dilution must be in [0, 1]")
+        return spec
+
+    def build(self) -> ResponseModel:
+        return make_model(self.assay, self.sensitivity, self.specificity, self.dilution)
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "assay": self.assay,
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "dilution": self.dilution,
+        }
+
+
+def _check_policy(name: Any) -> str:
+    _require(isinstance(name, str), "policy must be a string")
+    try:
+        make_policy(name)
+    except ValueError as exc:
+        raise BadRequest(str(exc)) from None
+    return name
+
+
+@dataclass(frozen=True)
+class CalculatorRequest:
+    """``POST /calculator`` — the pool/don't-pool decision table."""
+
+    cohort: int = 12
+    prevalences: Tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30)
+    replications: int = 15
+    policy: str = "bha"
+    seed: int = 0
+    assay: AssaySpec = AssaySpec()
+
+    _FIELDS = frozenset(
+        {"cohort", "prevalences", "replications", "policy", "seed", "assay"}
+    )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "CalculatorRequest":
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        _check_keys(payload, cls._FIELDS, "calculator")
+        cohort = _get_int(payload, "cohort", 12)
+        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        prevalences = payload.get("prevalences", list(cls().prevalences))
+        _require(
+            isinstance(prevalences, (list, tuple)) and len(prevalences) > 0,
+            "prevalences must be a non-empty array",
+        )
+        _require(
+            all(isinstance(p, (int, float)) and not isinstance(p, bool)
+                and 0.0 < float(p) < 1.0 for p in prevalences),
+            "every prevalence must be a number in (0, 1)",
+        )
+        _require(len(prevalences) <= 32, "at most 32 prevalence levels per request")
+        replications = _get_int(payload, "replications", 15)
+        _require(1 <= replications <= 200, "replications must be in [1, 200]")
+        return cls(
+            cohort=cohort,
+            prevalences=tuple(float(p) for p in prevalences),
+            replications=replications,
+            policy=_check_policy(payload.get("policy", "bha")),
+            seed=_get_int(payload, "seed", 0),
+            assay=AssaySpec.from_payload(payload.get("assay")),
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "cohort": self.cohort,
+            "prevalences": list(self.prevalences),
+            "replications": self.replications,
+            "policy": self.policy,
+            "seed": self.seed,
+            "assay": self.assay.canonical(),
+        }
+
+    def key(self) -> str:
+        return request_digest("calculator", self.canonical())
+
+    def execute(self) -> Dict[str, Any]:
+        """Run the Monte-Carlo table (serial path; no engine context)."""
+        from repro.workflows.calculator import pooling_calculator
+
+        model = self.assay.build()
+        policy_name = self.policy
+        entries = pooling_calculator(
+            model,
+            lambda: make_policy(policy_name),
+            prevalences=self.prevalences,
+            cohort_size=self.cohort,
+            replications=self.replications,
+            rng=self.seed,
+        )
+        return calculator_payload(entries, request=self.canonical())
+
+
+def _scenario_field(payload: Mapping[str, Any]) -> Optional[str]:
+    scenario = payload.get("scenario")
+    if scenario is None:
+        return None
+    _require(isinstance(scenario, str) and scenario in SCENARIOS,
+             f"scenario must be one of: {', '.join(sorted(SCENARIOS))}")
+    return scenario
+
+
+@dataclass(frozen=True)
+class ScreenRequest:
+    """``POST /screen`` — one-shot cohort classification."""
+
+    cohort: int = 16
+    prevalence: float = 0.02
+    scenario: Optional[str] = None
+    policy: str = "bha"
+    seed: int = 0
+    max_stages: int = 60
+    compact: bool = False
+    assay: AssaySpec = AssaySpec()
+
+    _FIELDS = frozenset(
+        {"cohort", "prevalence", "scenario", "policy", "seed", "max_stages",
+         "compact", "assay"}
+    )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ScreenRequest":
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        _check_keys(payload, cls._FIELDS, "screen")
+        cohort = _get_int(payload, "cohort", 16)
+        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        prevalence = _get_float(payload, "prevalence", 0.02)
+        _require(0.0 < prevalence < 1.0, "prevalence must be in (0, 1)")
+        max_stages = _get_int(payload, "max_stages", 60)
+        _require(1 <= max_stages <= 500, "max_stages must be in [1, 500]")
+        return cls(
+            cohort=cohort,
+            prevalence=prevalence,
+            scenario=_scenario_field(payload),
+            policy=_check_policy(payload.get("policy", "bha")),
+            seed=_get_int(payload, "seed", 0),
+            max_stages=max_stages,
+            compact=_get_bool(payload, "compact", False),
+            assay=AssaySpec.from_payload(payload.get("assay")),
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "cohort": self.cohort,
+            "policy": self.policy,
+            "seed": self.seed,
+            "max_stages": self.max_stages,
+            "compact": self.compact,
+        }
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        else:
+            out["prevalence"] = self.prevalence
+            out["assay"] = self.assay.canonical()
+        return out
+
+    def key(self) -> str:
+        return request_digest("screen", self.canonical())
+
+    def build(self) -> Tuple[PriorSpec, ResponseModel, SelectionPolicy, SBGTConfig]:
+        """(prior, model, policy, config) — shared by CLI and server."""
+        if self.scenario is not None:
+            prior, model = get_scenario(self.scenario).build(self.cohort, rng=self.seed)
+        else:
+            prior = PriorSpec.uniform(self.cohort, self.prevalence)
+            model = self.assay.build()
+        policy = make_policy(self.policy)
+        config = SBGTConfig(max_stages=self.max_stages,
+                            compact_classified=self.compact)
+        return prior, model, policy, config
+
+    def execute(self, ctx) -> Dict[str, Any]:
+        """Run the distributed screen on the server's shared context."""
+        from repro.sbgt.session import SBGTSession
+
+        prior, model, policy, config = self.build()
+        session = SBGTSession(ctx, prior, model, config)
+        try:
+            result = session.run_screen(policy, rng=self.seed)
+        finally:
+            session.close()
+        return screen_payload(result, request=self.canonical())
+
+
+@dataclass(frozen=True)
+class SessionCreateRequest:
+    """``POST /sessions`` — start an interactive sequential screen.
+
+    The server holds the belief state and proposes pools; the client
+    owns the physical assays (or their simulation) and posts outcomes.
+    """
+
+    cohort: int = 16
+    prevalence: float = 0.02
+    scenario: Optional[str] = None
+    policy: str = "bha"
+    seed: int = 0
+    max_stages: int = 60
+    compact: bool = False
+    positive_threshold: float = 0.99
+    negative_threshold: float = 0.01
+    assay: AssaySpec = AssaySpec()
+
+    _FIELDS = frozenset(
+        {"cohort", "prevalence", "scenario", "policy", "seed", "max_stages",
+         "compact", "positive_threshold", "negative_threshold", "assay"}
+    )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SessionCreateRequest":
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        _check_keys(payload, cls._FIELDS, "session")
+        cohort = _get_int(payload, "cohort", 16)
+        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        prevalence = _get_float(payload, "prevalence", 0.02)
+        _require(0.0 < prevalence < 1.0, "prevalence must be in (0, 1)")
+        max_stages = _get_int(payload, "max_stages", 60)
+        _require(1 <= max_stages <= 500, "max_stages must be in [1, 500]")
+        pos = _get_float(payload, "positive_threshold", 0.99)
+        neg = _get_float(payload, "negative_threshold", 0.01)
+        _require(0.0 <= neg < pos <= 1.0,
+                 "thresholds must satisfy 0 <= negative < positive <= 1")
+        return cls(
+            cohort=cohort,
+            prevalence=prevalence,
+            scenario=_scenario_field(payload),
+            policy=_check_policy(payload.get("policy", "bha")),
+            seed=_get_int(payload, "seed", 0),
+            max_stages=max_stages,
+            compact=_get_bool(payload, "compact", False),
+            positive_threshold=pos,
+            negative_threshold=neg,
+            assay=AssaySpec.from_payload(payload.get("assay")),
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "cohort": self.cohort,
+            "policy": self.policy,
+            "seed": self.seed,
+            "max_stages": self.max_stages,
+            "compact": self.compact,
+            "positive_threshold": self.positive_threshold,
+            "negative_threshold": self.negative_threshold,
+        }
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        else:
+            out["prevalence"] = self.prevalence
+            out["assay"] = self.assay.canonical()
+        return out
+
+    def build(self) -> Tuple[PriorSpec, ResponseModel, SelectionPolicy, SBGTConfig]:
+        if self.scenario is not None:
+            prior, model = get_scenario(self.scenario).build(self.cohort, rng=self.seed)
+        else:
+            prior = PriorSpec.uniform(self.cohort, self.prevalence)
+            model = self.assay.build()
+        policy = make_policy(self.policy)
+        config = SBGTConfig(
+            max_stages=self.max_stages,
+            compact_classified=self.compact,
+            positive_threshold=self.positive_threshold,
+            negative_threshold=self.negative_threshold,
+        )
+        return prior, model, policy, config

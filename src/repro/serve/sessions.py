@@ -1,0 +1,181 @@
+"""The interactive session registry.
+
+A *serve session* is one sequential screen whose assays happen outside
+the server: the server owns the belief state (an
+:class:`~repro.sbgt.session.SBGTSession` on the shared engine context)
+and the stage protocol (a :class:`~repro.sbgt.stepper.ScreenStepper`),
+the client owns the physical pools.  The registry bounds how many live
+at once, expires idle ones, and serializes access per session (two
+concurrent result submissions for the same screen would corrupt the
+evidence trail).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.sbgt.session import SBGTSession
+from repro.sbgt.stepper import ScreenStepper
+from repro.serve.protocol import SessionCreateRequest
+
+__all__ = ["ServeSession", "SessionRegistry", "SessionLimitError"]
+
+
+class SessionLimitError(RuntimeError):
+    """Registry is full (HTTP 503)."""
+
+
+def _pool_members(mask: int) -> List[int]:
+    return [i for i in range(mask.bit_length()) if (mask >> i) & 1]
+
+
+class ServeSession:
+    """One live interactive screen."""
+
+    def __init__(self, session_id: str, request: SessionCreateRequest,
+                 session: SBGTSession, stepper: ScreenStepper) -> None:
+        self.id = session_id
+        self.request = request
+        self.session = session
+        self.stepper = stepper
+        self.created = time.monotonic()
+        self.last_touch = self.created
+        # Per-session mutual exclusion for engine-touching operations.
+        self.lock = asyncio.Lock()
+
+    def touch(self) -> None:
+        self.last_touch = time.monotonic()
+
+    def idle_s(self) -> float:
+        return time.monotonic() - self.last_touch
+
+    # ------------------------------------------------------------------
+    def snapshot(self, include_marginals: bool = True) -> Dict[str, Any]:
+        """The session-state document every session endpoint returns."""
+        stepper = self.stepper
+        report = stepper.report
+        out: Dict[str, Any] = {
+            "session_id": self.id,
+            "request": self.request.canonical(),
+            "n_items": self.session.n_items,
+            "done": stepper.done,
+            "exhausted_budget": stepper.exhausted_budget,
+            "stages_used": stepper.stages_used,
+            "num_tests": stepper.num_tests,
+            "num_samples": stepper.num_samples,
+            "classification": {
+                "statuses": [s.name.lower() for s in report.statuses],
+            },
+        }
+        if include_marginals:
+            out["classification"]["marginals"] = [float(m) for m in report.marginals]
+        return out
+
+    def proposal_payload(self) -> Dict[str, Any]:
+        """``GET /sessions/{id}/next-pool`` body (engine work done by caller)."""
+        pools = self.stepper.next_pools()
+        return {
+            "session_id": self.id,
+            "done": self.stepper.done,
+            "stage": self.stepper.stages_used + (1 if pools else 0),
+            "pools": [
+                {"mask": p, "members": _pool_members(p), "size": bin(p).count("1")}
+                for p in pools
+            ],
+        }
+
+    def close(self) -> None:
+        self.session.close()
+
+
+class SessionRegistry:
+    """Bounded, TTL-swept map of live sessions."""
+
+    def __init__(self, ctx, max_sessions: int = 64, ttl_s: float = 900.0) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self._ctx = ctx
+        self.max_sessions = max_sessions
+        self.ttl_s = float(ttl_s)
+        self._sessions: Dict[str, ServeSession] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.expired = 0
+        self.closed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def create(self, request: SessionCreateRequest) -> ServeSession:
+        """Build the distributed lattice for a new screen (engine work —
+        call from an executor thread, not the event loop)."""
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionLimitError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "close or expire sessions first"
+                )
+        prior, model, policy, config = request.build()
+        session = SBGTSession(self._ctx, prior, model, config)
+        stepper = ScreenStepper(session, policy)
+        serve_session = ServeSession(uuid.uuid4().hex[:16], request, session, stepper)
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                session.close()
+                raise SessionLimitError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "close or expire sessions first"
+                )
+            self._sessions[serve_session.id] = serve_session
+            self.created += 1
+        return serve_session
+
+    def get(self, session_id: str) -> Optional[ServeSession]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def close(self, session_id: str) -> bool:
+        with self._lock:
+            serve_session = self._sessions.pop(session_id, None)
+            if serve_session is None:
+                return False
+            self.closed += 1
+        serve_session.close()
+        return True
+
+    def sweep(self) -> List[str]:
+        """Expire idle sessions past the TTL; returns the expired ids."""
+        with self._lock:
+            stale = [s for s in self._sessions.values() if s.idle_s() > self.ttl_s]
+            for s in stale:
+                del self._sessions[s.id]
+                self.expired += 1
+        for s in stale:
+            s.close()
+        return [s.id for s in stale]
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for s in sessions:
+            s.close()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for ``/metrics``."""
+        with self._lock:
+            active = len(self._sessions)
+        return {
+            "active": active,
+            "max_sessions": self.max_sessions,
+            "ttl_s": self.ttl_s,
+            "created": self.created,
+            "expired": self.expired,
+            "closed": self.closed,
+        }

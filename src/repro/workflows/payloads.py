@@ -1,0 +1,166 @@
+"""JSON payload shapes shared by the CLI and the serving layer.
+
+``python -m repro screen --json`` / ``calculator --json`` and the
+corresponding ``repro serve`` endpoints emit the **same** payloads, so a
+CLI run and a server response are directly diffable.  Everything here is
+plain-JSON-serializable (no NumPy scalars) and deterministic given the
+request parameters and seed.
+
+Also home to the string factories the CLI and server share:
+:func:`make_policy` parses the policy mini-language (``bha``,
+``lookahead-2``, ``dorfman-4``, ``array-3x4``, ``hybrid-6``, …) and
+:func:`make_model` builds a response model from assay parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.bayes.dilution import (
+    BinaryErrorModel,
+    DilutionErrorModel,
+    PerfectTest,
+    ResponseModel,
+)
+from repro.halving.hybrid import HybridPolicy
+from repro.halving.policy import (
+    ArrayTestingPolicy,
+    BHAPolicy,
+    DorfmanPolicy,
+    IndividualTestingPolicy,
+    InformationGainPolicy,
+    LookaheadPolicy,
+    SelectionPolicy,
+)
+from repro.workflows.calculator import CalculatorEntry
+from repro.workflows.classify import ScreenResult
+
+__all__ = [
+    "make_policy",
+    "make_model",
+    "canonical_json",
+    "request_digest",
+    "screen_payload",
+    "calculator_payload",
+    "calculator_entry_dict",
+    "dump_payload",
+]
+
+POLICY_HELP = "bha, lookahead-2, infogain, dorfman-4, array-3x4, hybrid, individual"
+
+
+def make_policy(name: str) -> SelectionPolicy:
+    """Build a selection policy from its CLI/API spelling.
+
+    Raises :class:`ValueError` for an unknown spec (callers map this to
+    an argparse error or an HTTP 400 as appropriate).
+    """
+    try:
+        if name == "bha":
+            return BHAPolicy()
+        if name.startswith("lookahead-"):
+            return LookaheadPolicy(int(name.split("-", 1)[1]))
+        if name == "infogain":
+            return InformationGainPolicy()
+        if name.startswith("dorfman-"):
+            return DorfmanPolicy(int(name.split("-", 1)[1]))
+        if name.startswith("array-"):
+            rows, cols = name.split("-", 1)[1].split("x")
+            return ArrayTestingPolicy(int(rows), int(cols))
+        if name == "hybrid":
+            return HybridPolicy()
+        if name.startswith("hybrid-"):
+            return HybridPolicy(int(name.split("-", 1)[1]))
+        if name == "individual":
+            return IndividualTestingPolicy()
+    except (ValueError, TypeError) as exc:
+        raise ValueError(f"malformed policy spec {name!r} (try: {POLICY_HELP})") from exc
+    raise ValueError(f"unknown policy {name!r} (try: {POLICY_HELP})")
+
+
+def make_model(
+    assay: str = "dilution",
+    sensitivity: float = 0.98,
+    specificity: float = 0.995,
+    dilution: float = 0.3,
+) -> ResponseModel:
+    """Build a response model from flat assay parameters."""
+    if assay == "perfect":
+        return PerfectTest()
+    if assay == "binary":
+        return BinaryErrorModel(sensitivity, specificity)
+    if assay == "dilution":
+        return DilutionErrorModel(sensitivity, specificity, dilution)
+    raise ValueError(f"unknown assay {assay!r} (choose perfect, binary, dilution)")
+
+
+# ----------------------------------------------------------------------
+# canonical hashing (the result cache / micro-batcher coalescing key)
+# ----------------------------------------------------------------------
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace jitter."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def request_digest(kind: str, params: Mapping[str, Any]) -> str:
+    """Canonical request hash — equal requests collide by construction."""
+    text = kind + "\n" + canonical_json(dict(params))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# payload builders
+# ----------------------------------------------------------------------
+def _py(value: Any) -> Any:
+    """NumPy scalar → native (json round-trips floats via repr exactly)."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def screen_payload(
+    result: ScreenResult,
+    request: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The one-shot screen payload (CLI ``--json`` == server body)."""
+    summary = {k: _py(v) for k, v in result.summary().items()}
+    return {
+        "kind": "screen",
+        "request": dict(request or {}),
+        "summary": summary,
+        "classification": {
+            "statuses": [s.name.lower() for s in result.report.statuses],
+            "marginals": [float(m) for m in result.report.marginals],
+        },
+        "truth": {
+            "mask": int(result.cohort.truth_mask),
+            "positives": result.cohort.positives(),
+        },
+    }
+
+
+def calculator_entry_dict(entry: CalculatorEntry) -> Dict[str, Any]:
+    row = {k: _py(v) for k, v in dataclasses.asdict(entry).items()}
+    row["expected_savings"] = float(entry.expected_savings)
+    row["verdict"] = "pool" if entry.pooling_recommended else "individual"
+    return row
+
+
+def calculator_payload(
+    entries: Sequence[CalculatorEntry],
+    request: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The decision-table payload (CLI ``--json`` == server body)."""
+    return {
+        "kind": "calculator",
+        "request": dict(request or {}),
+        "entries": [calculator_entry_dict(e) for e in entries],
+    }
+
+
+def dump_payload(payload: Mapping[str, Any]) -> str:
+    """The exact wire/stdout text both emitters use (diff-stable)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -53,6 +53,25 @@ class TestBlockStore:
         assert store.get((1, 0)) is None
         assert store.get((2, 0)) == [3]
 
+    def test_drop_rdd_counts_evictions_and_posts_events(self):
+        from repro.engine.listener import CacheEvict, EventBus, RecordingListener
+
+        bus = EventBus()
+        rec = bus.register(RecordingListener())
+        store = BlockStore(1 << 20, bus=bus)
+        store.put((1, 0), [1])
+        store.put((1, 1), [2])
+        store.put((2, 0), [3])
+        assert store.evictions == 0
+        assert store.drop_rdd(1) == 2
+        assert store.evictions == 2
+        evicts = rec.of_type(CacheEvict)
+        assert {(e.rdd_id, e.partition) for e in evicts} == {(1, 0), (1, 1)}
+        assert all(e.size_bytes > 0 for e in evicts)
+        # the untouched RDD stays cached and uncounted
+        assert store.drop_rdd(3) == 0
+        assert store.evictions == 2
+
     def test_replace_same_key(self):
         store = BlockStore(1 << 20)
         store.put((0, 0), [1])

@@ -1,0 +1,134 @@
+"""The stage-by-stage screen driver (`ScreenStepper`)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.dilution import BinaryErrorModel, PerfectTest
+from repro.bayes.priors import PriorSpec
+from repro.engine import Context
+from repro.halving.policy import BHAPolicy, DorfmanPolicy
+from repro.sbgt.config import SBGTConfig
+from repro.sbgt.session import SBGTSession
+from repro.sbgt.stepper import ScreenStepper
+from repro.simulate.population import make_cohort
+from repro.simulate.testing import TestLab
+from repro.util.rng import as_rng
+
+
+@pytest.fixture
+def ctx():
+    with Context(mode="serial") as c:
+        yield c
+
+
+def _drive_interactively(ctx, prior, model, policy, config, seed):
+    """Replicate the batch path's RNG consumption, outcomes from outside."""
+    gen = as_rng(seed)
+    cohort = make_cohort(prior, gen)
+    lab = TestLab(model, cohort.truth_mask, gen)
+    session = SBGTSession(ctx, prior, model, config)
+    stepper = ScreenStepper(session, policy)
+    while not stepper.done:
+        pools = stepper.next_pools()
+        stepper.submit_outcomes([lab.run(p) for p in pools])
+    result = stepper.result(cohort)
+    session.close()
+    return result
+
+
+class TestStepperEquivalence:
+    @pytest.mark.parametrize("policy_cls", [BHAPolicy, lambda: DorfmanPolicy(4)])
+    def test_matches_batch_run_screen(self, ctx, policy_cls):
+        prior = PriorSpec.uniform(10, 0.08)
+        model = BinaryErrorModel(0.97, 0.99)
+        config = SBGTConfig(max_stages=40)
+
+        batch_session = SBGTSession(ctx, prior, model, config)
+        batch = batch_session.run_screen(policy_cls(), rng=7)
+        batch_session.close()
+
+        stepped = _drive_interactively(ctx, prior, model, policy_cls(), config, seed=7)
+
+        assert stepped.report.statuses == batch.report.statuses
+        assert stepped.report.marginals.tobytes() == batch.report.marginals.tobytes()
+        assert stepped.stages_used == batch.stages_used
+        assert stepped.efficiency.num_tests == batch.efficiency.num_tests
+        assert stepped.efficiency.num_samples_used == batch.efficiency.num_samples_used
+        assert stepped.cohort.truth_mask == batch.cohort.truth_mask
+        assert stepped.exhausted_budget == batch.exhausted_budget
+
+    def test_matches_under_compaction(self, ctx):
+        prior = PriorSpec.uniform(9, 0.1)
+        model = PerfectTest()
+        config = SBGTConfig(compact_classified=True)
+
+        batch_session = SBGTSession(ctx, prior, model, config)
+        batch = batch_session.run_screen(BHAPolicy(), rng=3)
+        batch_session.close()
+
+        stepped = _drive_interactively(ctx, prior, model, BHAPolicy(), config, seed=3)
+        assert stepped.report.statuses == batch.report.statuses
+        assert stepped.report.marginals.tobytes() == batch.report.marginals.tobytes()
+
+
+class TestStepperProtocol:
+    def test_next_pools_idempotent_until_outcomes(self, ctx):
+        prior = PriorSpec.uniform(8, 0.1)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        stepper = ScreenStepper(session, BHAPolicy())
+        first = stepper.next_pools()
+        assert stepper.next_pools() == first
+        assert stepper.pending_pools == first
+        session.close()
+
+    def test_submit_requires_proposal(self, ctx):
+        prior = PriorSpec.uniform(8, 0.1)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        stepper = ScreenStepper(session, BHAPolicy())
+        with pytest.raises(RuntimeError, match="no pools outstanding"):
+            stepper.submit_outcomes([1])
+        session.close()
+
+    def test_submit_checks_outcome_count(self, ctx):
+        prior = PriorSpec.uniform(8, 0.1)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        stepper = ScreenStepper(session, BHAPolicy())
+        pools = stepper.next_pools()
+        with pytest.raises(ValueError, match="outcome"):
+            stepper.submit_outcomes([0] * (len(pools) + 1))
+        session.close()
+
+    def test_budget_exhaustion_reported(self, ctx):
+        prior = PriorSpec.uniform(8, 0.3)
+        session = SBGTSession(ctx, prior, BinaryErrorModel(0.9, 0.9),
+                              SBGTConfig(max_stages=1))
+        stepper = ScreenStepper(session, BHAPolicy())
+        gen = as_rng(0)
+        cohort = make_cohort(prior, gen)
+        lab = TestLab(session.model, cohort.truth_mask, gen)
+        pools = stepper.next_pools()
+        stepper.submit_outcomes([lab.run(p) for p in pools])
+        assert stepper.done
+        assert stepper.exhausted_budget
+        assert stepper.next_pools() == []
+        with pytest.raises(RuntimeError, match="finished"):
+            stepper.submit_outcomes([])
+        session.close()
+
+    def test_result_requires_completion(self, ctx):
+        prior = PriorSpec.uniform(8, 0.1)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        stepper = ScreenStepper(session, BHAPolicy())
+        gen = as_rng(0)
+        cohort = make_cohort(prior, gen)
+        with pytest.raises(RuntimeError, match="in progress"):
+            stepper.result(cohort)
+        session.close()
+
+    def test_marginals_are_probabilities(self, ctx):
+        prior = PriorSpec.uniform(8, 0.05)
+        session = SBGTSession(ctx, prior, PerfectTest())
+        stepper = ScreenStepper(session, BHAPolicy())
+        assert np.all(stepper.report.marginals >= 0.0)
+        assert np.all(stepper.report.marginals <= 1.0)
+        session.close()

@@ -1,0 +1,64 @@
+"""Shared HTTP-over-asyncio helpers for serving-layer tests.
+
+Tests run the server and a raw socket client inside one event loop via
+``asyncio.run`` (no pytest-asyncio dependency).  ``http_call`` speaks
+just enough HTTP/1.1 for the JSON API.
+"""
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.app import ReproServer, ServeConfig
+
+
+async def http_call(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Any] = None,
+) -> Tuple[int, Any, Dict[str, str], bytes]:
+    """One request on a fresh connection → (status, json, headers, raw body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parsed = json.loads(body_bytes) if body_bytes else None
+    return status, parsed, headers, body_bytes
+
+
+def run_with_server(coro_fn, config: Optional[ServeConfig] = None):
+    """Start a server on an ephemeral port, run ``coro_fn(server, host, port)``,
+    tear down.  Returns whatever the coroutine returns."""
+
+    async def main():
+        server = ReproServer(config or ServeConfig(port=0, workers=2, compute_threads=2))
+        host, port = await server.start()
+        try:
+            return await coro_fn(server, host, port)
+        finally:
+            await server.close()
+
+    return asyncio.run(main())

@@ -1,0 +1,102 @@
+"""Micro-batcher coalescing semantics (no HTTP, no engine)."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+async def _thread_runner(thunk):
+    return await asyncio.get_running_loop().run_in_executor(None, thunk)
+
+
+def test_concurrent_identical_requests_coalesce_to_one_job():
+    calls = []
+    lock = threading.Lock()
+
+    def work():
+        with lock:
+            calls.append(1)
+        return {"answer": 42}
+
+    async def main():
+        batcher = MicroBatcher(_thread_runner, window_s=0.01)
+        results = await asyncio.gather(
+            *[batcher.submit("k", work) for _ in range(64)]
+        )
+        return batcher, results
+
+    batcher, results = asyncio.run(main())
+    assert len(calls) < 8, f"64 identical requests ran {len(calls)} jobs"
+    assert all(r == {"answer": 42} for r in results)
+    assert batcher.requests == 64
+    assert batcher.jobs == len(calls)
+    assert batcher.coalesced == 64 - len(calls)
+    assert batcher.batching_ratio >= 8.0
+
+
+def test_different_keys_do_not_coalesce():
+    async def main():
+        batcher = MicroBatcher(_thread_runner, window_s=0.0)
+        out = await asyncio.gather(
+            batcher.submit("a", lambda: "A"), batcher.submit("b", lambda: "B")
+        )
+        return batcher, out
+
+    batcher, out = asyncio.run(main())
+    assert out == ["A", "B"]
+    assert batcher.jobs == 2
+    assert batcher.coalesced == 0
+
+
+def test_sequential_requests_run_separate_jobs():
+    async def main():
+        batcher = MicroBatcher(_thread_runner, window_s=0.0)
+        first = await batcher.submit("k", lambda: 1)
+        second = await batcher.submit("k", lambda: 2)
+        return batcher, first, second
+
+    batcher, first, second = asyncio.run(main())
+    assert (first, second) == (1, 2)
+    assert batcher.jobs == 2
+
+
+def test_exception_fans_out_to_all_waiters():
+    def boom():
+        raise RuntimeError("engine on fire")
+
+    async def main():
+        batcher = MicroBatcher(_thread_runner, window_s=0.01)
+        results = await asyncio.gather(
+            *[batcher.submit("k", boom) for _ in range(5)], return_exceptions=True
+        )
+        return batcher, results
+
+    batcher, results = asyncio.run(main())
+    assert len(results) == 5
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert batcher.jobs == 1
+    # a failed job must not leave a poisoned inflight entry
+    assert batcher.snapshot()["inflight_keys"] == 0
+
+
+def test_on_batch_callback_reports_waiter_count():
+    seen = []
+
+    async def main():
+        batcher = MicroBatcher(
+            _thread_runner, window_s=0.01,
+            on_batch=lambda key, waiters, wall: seen.append((key, waiters)),
+        )
+        await asyncio.gather(*[batcher.submit("k", lambda: 0) for _ in range(9)])
+
+    asyncio.run(main())
+    assert len(seen) >= 1
+    assert sum(w for _, w in seen) == 9
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ValueError):
+        MicroBatcher(_thread_runner, window_s=-1.0)

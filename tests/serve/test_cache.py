@@ -1,0 +1,57 @@
+"""LRU result-cache behaviour."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+def test_put_get_roundtrip():
+    cache = ResultCache(4)
+    cache.put("a", {"x": 1})
+    assert cache.get("a") == {"x": 1}
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_miss_counts():
+    cache = ResultCache(4)
+    assert cache.get("nope") is None
+    assert cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a → b is now least-recent
+    cache.put("c", 3)       # evicts b
+    assert cache.get("a") == 1
+    assert cache.get("b") is None
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_put_same_key_updates_without_eviction():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("a", 2)
+    assert cache.get("a") == 2
+    assert cache.evictions == 0
+    assert len(cache) == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ResultCache(0)
+
+
+def test_snapshot_shape():
+    cache = ResultCache(3)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    snap = cache.snapshot()
+    assert snap["entries"] == 1
+    assert snap["capacity"] == 3
+    assert snap["hits"] == 1
+    assert snap["misses"] == 1
+    assert 0.0 < snap["hit_rate"] < 1.0

@@ -1,0 +1,78 @@
+"""CLI ``--json`` output ≡ server response bodies, byte for byte."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.serve.serve_utils import http_call, run_with_server
+
+
+def _cli_stdout(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+def _server_body(method, path, body):
+    async def scenario(server, host, port):
+        status, _, _, raw = await http_call(host, port, method, path, body)
+        assert status == 200
+        return raw
+
+    return run_with_server(scenario)
+
+
+def test_calculator_json_matches_server_body(capsys):
+    out = _cli_stdout(
+        capsys,
+        ["calculator", "--json", "--cohort", "6", "--prevalences", "0.05", "0.2",
+         "--replications", "2", "--seed", "5", "--assay", "binary"],
+    )
+    raw = _server_body(
+        "POST", "/calculator",
+        {"cohort": 6, "prevalences": [0.05, 0.2], "replications": 2, "seed": 5,
+         "assay": {"assay": "binary"}},
+    )
+    assert out == raw.decode("utf-8")
+
+
+def test_screen_json_matches_server_body(capsys):
+    out = _cli_stdout(
+        capsys,
+        ["screen", "--json", "--cohort", "8", "--prevalence", "0.05",
+         "--seed", "9", "--workers", "2"],
+    )
+    raw = _server_body(
+        "POST", "/screen", {"cohort": 8, "prevalence": 0.05, "seed": 9}
+    )
+    assert out == raw.decode("utf-8")
+
+
+def test_screen_json_scenario_matches_server_body(capsys):
+    out = _cli_stdout(
+        capsys,
+        ["screen", "--json", "--scenario", "outbreak", "--cohort", "8",
+         "--seed", "3", "--workers", "2"],
+    )
+    raw = _server_body(
+        "POST", "/screen", {"scenario": "outbreak", "cohort": 8, "seed": 3}
+    )
+    assert out == raw.decode("utf-8")
+
+
+def test_screen_json_is_deterministic(capsys):
+    argv = ["screen", "--json", "--cohort", "8", "--seed", "4", "--workers", "2"]
+    assert _cli_stdout(capsys, argv) == _cli_stdout(capsys, argv)
+
+
+@pytest.mark.parametrize("policy", ["dorfman-3", "hybrid"])
+def test_calculator_json_policy_spellings_round_trip(capsys, policy):
+    out = _cli_stdout(
+        capsys,
+        ["calculator", "--json", "--cohort", "5", "--prevalences", "0.1",
+         "--replications", "2", "--policy", policy],
+    )
+    raw = _server_body(
+        "POST", "/calculator",
+        {"cohort": 5, "prevalences": [0.1], "replications": 2, "policy": policy},
+    )
+    assert out == raw.decode("utf-8")

@@ -1,0 +1,110 @@
+"""Request parsing/validation and canonical-key behaviour."""
+
+import pytest
+
+from repro.serve.protocol import (
+    AssaySpec,
+    BadRequest,
+    CalculatorRequest,
+    ScreenRequest,
+    SessionCreateRequest,
+)
+
+
+class TestCalculatorRequest:
+    def test_defaults(self):
+        req = CalculatorRequest.from_payload({})
+        assert req.cohort == 12
+        assert req.policy == "bha"
+        assert req.assay.assay == "dilution"
+
+    def test_equal_requests_share_a_key(self):
+        a = CalculatorRequest.from_payload({"cohort": 8, "seed": 3})
+        b = CalculatorRequest.from_payload({"seed": 3, "cohort": 8})
+        assert a.key() == b.key()
+
+    def test_different_requests_have_different_keys(self):
+        a = CalculatorRequest.from_payload({"cohort": 8, "seed": 3})
+        b = CalculatorRequest.from_payload({"cohort": 8, "seed": 4})
+        assert a.key() != b.key()
+
+    @pytest.mark.parametrize(
+        "payload,match",
+        [
+            ({"cohort": 0}, "cohort"),
+            ({"cohort": 25}, "cohort"),
+            ({"cohort": True}, "cohort"),
+            ({"prevalences": []}, "prevalences"),
+            ({"prevalences": [0.0]}, "prevalence"),
+            ({"prevalences": [1.5]}, "prevalence"),
+            ({"replications": 0}, "replications"),
+            ({"replications": 1000}, "replications"),
+            ({"policy": "nope"}, "policy"),
+            ({"policy": 7}, "policy"),
+            ({"bogus": 1}, "unknown"),
+            ({"assay": {"assay": "psychic"}}, "assay"),
+            ({"assay": {"sensitivity": 0.2}}, "sensitivity"),
+        ],
+    )
+    def test_rejects_bad_fields(self, payload, match):
+        with pytest.raises(BadRequest, match=match):
+            CalculatorRequest.from_payload(payload)
+
+    def test_execute_is_deterministic(self):
+        req = CalculatorRequest.from_payload(
+            {"cohort": 5, "prevalences": [0.05], "replications": 2, "seed": 7}
+        )
+        assert req.execute() == req.execute()
+        entry = req.execute()["entries"][0]
+        assert entry["verdict"] in ("pool", "individual")
+
+
+class TestScreenRequest:
+    def test_scenario_overrides_prevalence_in_canonical(self):
+        req = ScreenRequest.from_payload({"scenario": "community", "cohort": 8})
+        canon = req.canonical()
+        assert canon["scenario"] == "community"
+        assert "prevalence" not in canon and "assay" not in canon
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(BadRequest, match="scenario"):
+            ScreenRequest.from_payload({"scenario": "moonbase"})
+
+    def test_build_produces_runnable_pieces(self):
+        prior, model, policy, config = ScreenRequest.from_payload(
+            {"cohort": 6, "prevalence": 0.1, "policy": "dorfman-3", "max_stages": 9}
+        ).build()
+        assert prior.n_items == 6
+        assert policy.name.startswith("dorfman")
+        assert config.max_stages == 9
+
+    def test_key_separates_screen_from_session(self):
+        screen = ScreenRequest.from_payload({"cohort": 8, "seed": 1})
+        session = SessionCreateRequest.from_payload({"cohort": 8, "seed": 1})
+        assert screen.key() != "" and screen.canonical() != session.canonical()
+
+
+class TestSessionCreateRequest:
+    def test_thresholds_validated(self):
+        with pytest.raises(BadRequest, match="threshold"):
+            SessionCreateRequest.from_payload(
+                {"positive_threshold": 0.3, "negative_threshold": 0.5}
+            )
+
+    def test_thresholds_reach_config(self):
+        _, _, _, config = SessionCreateRequest.from_payload(
+            {"positive_threshold": 0.95, "negative_threshold": 0.05}
+        ).build()
+        assert config.positive_threshold == 0.95
+        assert config.negative_threshold == 0.05
+
+
+class TestAssaySpec:
+    def test_round_trip(self):
+        spec = AssaySpec.from_payload({"assay": "binary", "sensitivity": 0.9})
+        assert spec.canonical()["assay"] == "binary"
+        model = spec.build()
+        assert model is not None
+
+    def test_none_is_default(self):
+        assert AssaySpec.from_payload(None) == AssaySpec()
