@@ -110,7 +110,9 @@ def test_engine_join(benchmark, ectx):
 # ---------------------------------------------------------------------------
 # Listener-bus overhead.  The bus is falsy while no listeners are
 # registered, so emitters skip event construction entirely; an enabled
-# bus with zero listeners should cost the same as events disabled.
+# bus with zero listeners should cost the same as events disabled.  The
+# flight recorder (on by default) is the one listener production
+# contexts carry, so its overhead is benchmarked and bounded too.
 
 
 def _shuffle_job(ctx: Context) -> int:
@@ -118,37 +120,114 @@ def _shuffle_job(ctx: Context) -> int:
     return len(pairs.reduce_by_key(lambda a, b: a + b).collect())
 
 
+def _config(enable_events: bool, flight_recorder: bool = False) -> EngineConfig:
+    return EngineConfig(
+        mode="serial", enable_events=enable_events, flight_recorder=flight_recorder
+    )
+
+
 def test_engine_events_enabled_empty_bus(benchmark):
-    with Context(mode="serial", config=EngineConfig(mode="serial", enable_events=True)) as c:
+    with Context(config=_config(enable_events=True)) as c:
         assert benchmark(_shuffle_job, c) == 100
 
 
 def test_engine_events_disabled(benchmark):
-    with Context(mode="serial", config=EngineConfig(mode="serial", enable_events=False)) as c:
+    with Context(config=_config(enable_events=False)) as c:
         assert benchmark(_shuffle_job, c) == 100
 
 
-def test_engine_empty_bus_overhead_small():
-    """Median wall of the empty-bus run stays within a few percent of the
-    events-off run (the <2% target; the assert leaves slack for timer
-    noise on shared CI hosts)."""
+def test_engine_flight_recorder_on(benchmark):
+    """The default production configuration: recorder subscribed."""
+    with Context(config=_config(enable_events=True, flight_recorder=True)) as c:
+        assert benchmark(_shuffle_job, c) == 100
+
+
+def _interleaved_best_medians(
+    config_a: EngineConfig, config_b: EngineConfig, rounds: int = 5, reps: int = 7
+) -> tuple:
+    """Best-of-rounds median walls of the shuffle job under two configs.
+
+    Rounds alternate between the two contexts so clock drift and host
+    noise hit both sides equally, and taking the minimum of the round
+    medians discards scheduler spikes a single median cannot.
+    """
     import statistics
     import time
 
-    def median_wall(enable_events: bool) -> float:
-        with Context(
-            mode="serial", config=EngineConfig(mode="serial", enable_events=enable_events)
-        ) as c:
-            _shuffle_job(c)  # warm up
-            walls = []
-            for _ in range(7):
-                t0 = time.perf_counter()
-                _shuffle_job(c)
-                walls.append(time.perf_counter() - t0)
+    def round_median(c: Context) -> float:
+        walls = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _shuffle_job(c)
+            walls.append(time.perf_counter() - t0)
         return statistics.median(walls)
 
-    off = median_wall(False)
-    on = median_wall(True)
+    with Context(config=config_a) as ca, Context(config=config_b) as cb:
+        _shuffle_job(ca)  # warm up both
+        _shuffle_job(cb)
+        medians_a, medians_b = [], []
+        for _ in range(rounds):
+            medians_a.append(round_median(ca))
+            medians_b.append(round_median(cb))
+    return min(medians_a), min(medians_b)
+
+
+def test_engine_empty_bus_overhead_small():
+    """Empty-bus wall stays within a few percent of events-off (the <2%
+    target; the assert leaves slack for timer noise on shared hosts)."""
+    off, on = _interleaved_best_medians(
+        _config(enable_events=False), _config(enable_events=True)
+    )
     overhead = (on - off) / off
     print(f"\nempty-bus overhead: {overhead:+.2%} (off={off:.4f}s on={on:.4f}s)")
     assert overhead < 0.10
+
+
+def test_engine_flight_recorder_overhead_small():
+    """The always-on flight recorder costs <2% on the engine micro-job.
+
+    This is the CI acceptance bound for leaving the recorder on by
+    default.  Two measurements, either may satisfy the bound:
+
+    * end-to-end — recorder-on vs events-off job walls (interleaved
+      best-of-rounds medians).  Truthful but noisy: the ~30 events of
+      this 2 ms job cost ~1 us each, well inside host jitter.
+    * event budget — (events/job) x (measured per-event construct+post
+      cost) / (events-off job wall).  Deterministic, and it is the
+      quantity the recorder actually controls.
+
+    A real regression (recorder growing locks, events growing work)
+    moves both above 2%; host noise only moves the first.
+    """
+    import timeit
+
+    off, on = _interleaved_best_medians(
+        _config(enable_events=False),
+        _config(enable_events=True, flight_recorder=True),
+        rounds=7,
+    )
+    end_to_end = (on - off) / off
+
+    from repro.engine.listener import EventBus, TaskEnd
+    from repro.obs.flight import FlightRecorder
+
+    with Context(config=_config(enable_events=True, flight_recorder=True)) as c:
+        recorder = c.flight_recorder
+        before = recorder.snapshot()["total_seen"]
+        _shuffle_job(c)
+        events_per_job = recorder.snapshot()["total_seen"] - before
+
+    bus = EventBus()
+    bus.register(FlightRecorder())
+    reps = 20_000
+    per_event = min(
+        timeit.repeat(lambda: bus.post(TaskEnd(1, 2, 0.5, 1)), number=reps, repeat=5)
+    ) / reps
+    budget = events_per_job * per_event / off
+
+    print(
+        f"\nflight-recorder overhead: end-to-end {end_to_end:+.2%}, "
+        f"budget {budget:.2%} ({events_per_job} events x {per_event * 1e9:.0f}ns "
+        f"on a {off * 1000:.2f}ms job)"
+    )
+    assert end_to_end < 0.02 or budget < 0.02

@@ -93,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="enable lattice contraction of settled diagnoses")
     p_screen.add_argument("--trace", metavar="PATH", default=None,
                           help="dump a phase-tagged JSONL trace of the screen")
+    p_screen.add_argument("--chrome", metavar="PATH", default=None,
+                          help="export a Chrome trace-event JSON of the screen "
+                               "(open in chrome://tracing or Perfetto)")
     p_screen.add_argument("--json", action="store_true",
                           help="emit the API payload (same shape as POST /screen)")
     _add_assay_args(p_screen)
@@ -137,9 +140,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-sessions", type=int, default=64)
     p_serve.add_argument("--session-ttl", type=float, default=900.0,
                          help="idle session expiry, seconds")
+    p_serve.add_argument("--engine-mode", choices=["serial", "threads", "processes"],
+                         default="threads",
+                         help="executor backend of the shared engine context")
+    p_serve.add_argument("--flight-capacity", type=int, default=4096,
+                         help="flight-recorder ring size behind /debug endpoints")
+    p_serve.add_argument("--slow-threshold", type=float, default=0.1,
+                         help="ops slower than this (s) land in GET /debug/slow")
 
-    p_trace = sub.add_parser("trace", help="summarize a dumped JSONL trace")
+    p_trace = sub.add_parser("trace", help="summarize or convert a dumped JSONL trace")
     p_trace.add_argument("path", help="trace file written by --trace or dump_jsonl()")
+    p_trace.add_argument("--chrome", metavar="OUT", default=None,
+                         help="convert to Chrome trace-event JSON instead of summarizing")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="with --chrome: structurally validate the exported trace")
     return parser
 
 
@@ -172,27 +186,42 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     policy = args.policy if isinstance(args.policy, SelectionPolicy) else _make_policy(args.policy)
     config = SBGTConfig(max_stages=args.max_stages, compact_classified=args.compact)
     tracer = None
-    if args.trace:
+    if args.trace or args.chrome:
         from repro.obs import Tracer
 
         tracer = Tracer().install()
+    recorder = None
     try:
         with Context(mode="threads", parallelism=args.workers) as ctx:
             if tracer is not None:
                 tracer.attach(ctx)
+            recorder = ctx.flight_recorder
             session = SBGTSession(ctx, prior, model, config)
             result = session.run_screen(policy, rng=args.seed)
             session.close()
     finally:
         if tracer is not None:
             tracer.uninstall()
-    if tracer is not None:
+    if tracer is not None and args.trace:
         try:
             tracer.dump_jsonl(args.trace)
         except OSError as exc:
             print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
         else:
             print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.chrome:
+        from repro.obs import chrome_trace
+
+        records = [span.to_dict() for span in tracer.spans] if tracer else []
+        if recorder is not None:
+            records.extend(recorder.events(limit=recorder.capacity))
+        try:
+            with open(args.chrome, "w", encoding="utf-8") as fh:
+                json.dump(chrome_trace(records, title="screen"), fh)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.chrome}: {exc}", file=sys.stderr)
+        else:
+            print(f"chrome trace written to {args.chrome}", file=sys.stderr)
     rows = [
         ["truly infected", str(result.cohort.positives())],
         ["called positive", str(result.report.positives())],
@@ -280,6 +309,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             max_sessions=args.max_sessions,
             session_ttl_s=args.session_ttl,
+            engine_mode=args.engine_mode,
+            flight_capacity=args.flight_capacity,
+            slow_threshold_s=args.slow_threshold,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -317,6 +349,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not records:
         print(f"error: {args.path} holds no records", file=sys.stderr)
         return 2
+
+    if args.chrome:
+        from repro.obs import chrome_trace, validate_chrome_trace
+
+        doc = chrome_trace(records, title=args.path)
+        if args.validate:
+            try:
+                n = validate_chrome_trace(doc)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"validated {n} trace event(s)", file=sys.stderr)
+        try:
+            with open(args.chrome, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        except OSError as exc:
+            print(f"error: cannot write {args.chrome}: {exc}", file=sys.stderr)
+            return 2
+        print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+        return 0
 
     by_kind: dict = {}
     for rec in records:

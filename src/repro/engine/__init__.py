@@ -24,10 +24,24 @@ from repro.engine.hll import HyperLogLog
 from repro.engine.listener import EngineEvent, EngineListener, EventBus, RecordingListener
 from repro.engine.rdd import RDD, StatCounter
 from repro.engine.shuffle import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.tracing import (
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    ensure_trace,
+    phase_scope,
+    trace_scope,
+)
 
 __all__ = [
     "Context",
     "EngineConfig",
+    "TraceContext",
+    "trace_scope",
+    "ensure_trace",
+    "phase_scope",
+    "current_trace",
+    "current_trace_id",
     "RDD",
     "StatCounter",
     "HyperLogLog",

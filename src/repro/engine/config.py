@@ -46,6 +46,15 @@ class EngineConfig:
         event delivery even with listeners registered (overhead
         experiments); the default ``True`` still costs nothing until a
         listener subscribes.
+    flight_recorder:
+        Register the always-on :class:`~repro.obs.flight.FlightRecorder`
+        on the context's bus (the black box behind ``/debug`` endpoints
+        and failure post-mortems).  Requires ``enable_events``.
+    flight_capacity:
+        Ring-buffer size of the flight recorder, events.
+    slow_threshold_s:
+        Operations (tasks, stages, jobs, requests) slower than this are
+        copied into the recorder's slow-op log.
     """
 
     mode: ExecMode = "threads"
@@ -55,6 +64,9 @@ class EngineConfig:
     cache_capacity_bytes: int = 1 << 30
     task_batch_size: int = 64
     enable_events: bool = True
+    flight_recorder: bool = True
+    flight_capacity: int = 4096
+    slow_threshold_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.mode not in _VALID_MODES:
@@ -67,6 +79,10 @@ class EngineConfig:
             raise ValueError("max_task_retries must be >= 0")
         if self.cache_capacity_bytes <= 0:
             raise ValueError("cache_capacity_bytes must be positive")
+        if self.flight_capacity <= 0:
+            raise ValueError("flight_capacity must be positive")
+        if self.slow_threshold_s < 0:
+            raise ValueError("slow_threshold_s must be >= 0")
 
     @property
     def effective_parallelism(self) -> int:

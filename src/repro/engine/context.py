@@ -59,6 +59,18 @@ class Context:
             max_task_retries=max_task_retries,
         )
         self.event_bus = EventBus(enabled=self.config.enable_events)
+        # The always-on black box: a bounded recorder every context gets
+        # by default so failures and /debug endpoints have history to
+        # show.  Imported lazily — repro.obs sits above the engine.
+        self.flight_recorder = None
+        if self.config.enable_events and self.config.flight_recorder:
+            from repro.obs.flight import FlightRecorder
+
+            self.flight_recorder = FlightRecorder(
+                capacity=self.config.flight_capacity,
+                slow_threshold_s=self.config.slow_threshold_s,
+            )
+            self.event_bus.register(self.flight_recorder)
         self.shuffle_manager = ShuffleManager(bus=self.event_bus)
         self.block_store = BlockStore(self.config.cache_capacity_bytes, bus=self.event_bus)
         self.metrics = MetricsRegistry()
@@ -194,6 +206,7 @@ class Context:
     def __setstate__(self, state):
         self.config = state["config"]
         self.event_bus = EventBus(enabled=False)  # workers never post
+        self.flight_recorder = None
         self.shuffle_manager = None  # workers read shuffles via TaskEnv
         self.block_store = None
         self.metrics = None

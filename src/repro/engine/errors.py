@@ -13,7 +13,16 @@ __all__ = [
 
 
 class EngineError(RuntimeError):
-    """Base class for all engine failures."""
+    """Base class for all engine failures.
+
+    When the owning context has a flight recorder, the scheduler
+    attaches the last event window to any failure escaping ``run_job``
+    as :attr:`post_mortem` (a list of event dicts, oldest first), so the
+    traceback carries the engine's black box with it.
+    """
+
+    #: Last-N engine events before the failure (None = no recorder).
+    post_mortem = None
 
 
 class TaskFailedError(EngineError):

@@ -20,7 +20,9 @@ Retries happen at the driver: a task raising is resubmitted up to
 from __future__ import annotations
 
 import concurrent.futures as cf
+import contextvars
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -73,13 +75,18 @@ class Task:
 
     def run(self, env: TaskEnv) -> "TaskResult":
         open_task_staging()
+        # Epoch stamp taken *in the worker*: perf_counter origins differ
+        # per process, so the wall clock is the only cross-process
+        # ordering exporters can trust.
+        t0_wall = time.time()
+        worker = f"{os.getpid()}/{threading.current_thread().name}"
         t0 = time.perf_counter()
         try:
             value = self.body(env)
         finally:
             deltas = close_task_staging()
         wall = time.perf_counter() - t0
-        return TaskResult(self.partition, value, deltas, wall)
+        return TaskResult(self.partition, value, deltas, wall, t0_wall=t0_wall, worker=worker)
 
 
 @dataclass
@@ -89,6 +96,10 @@ class TaskResult:
     acc_deltas: Dict[int, Any] = field(default_factory=dict)
     wall_s: float = 0.0
     attempts: int = 1
+    #: Wall-clock epoch at task start, stamped worker-side (0.0 = unknown).
+    t0_wall: float = 0.0
+    #: ``"<pid>/<thread-name>"`` of the executing worker.
+    worker: str = ""
 
 
 class BaseExecutor:
@@ -124,7 +135,16 @@ class BaseExecutor:
                 continue
             result.attempts = attempt
             if bus:
-                bus.post(TaskEnd(task.stage_id, task.partition, result.wall_s, attempt))
+                bus.post(
+                    TaskEnd(
+                        task.stage_id,
+                        task.partition,
+                        result.wall_s,
+                        attempt,
+                        t0_wall=result.t0_wall,
+                        worker=result.worker,
+                    )
+                )
             return result
         raise TaskFailedError(task.stage_id, task.partition, self._max_retries + 1, last)
 
@@ -161,7 +181,15 @@ class ThreadExecutor(BaseExecutor):
 
     def submit(self, tasks: List[Task]) -> List[TaskResult]:
         env = self._local_env()
-        futures = [self._pool.submit(self._run_with_retries, t, env) for t in tasks]
+        # Each task runs under a copy of the submitting thread's
+        # contextvars, so trace/phase stamps survive the hop onto pool
+        # threads (one cheap copy_context per task).
+        futures = [
+            self._pool.submit(
+                contextvars.copy_context().run, self._run_with_retries, t, env
+            )
+            for t in tasks
+        ]
         # Fail fast: the first task to exhaust its retries aborts the
         # wave — queued tasks are cancelled instead of draining behind
         # an in-order result scan.
@@ -184,6 +212,10 @@ def _process_worker_run(task_bytes: bytes) -> TaskResult:
     return task.run(env)
 
 
+def _process_worker_warmup() -> int:
+    return os.getpid()
+
+
 class ProcessExecutor(BaseExecutor):
     """Forked worker pool; tasks ship as closure-pickled bytes."""
 
@@ -199,6 +231,16 @@ class ProcessExecutor(BaseExecutor):
         ctx = multiprocessing.get_context("fork")
         self._pool = cf.ProcessPoolExecutor(max_workers=num_workers, mp_context=ctx)
         self._lock = threading.Lock()
+        # Fork the whole worker pool NOW rather than at the first job.
+        # With the fork start method CPython launches every worker on
+        # the first submit and never forks again, so forcing that
+        # submit here pins all forking to Context creation.  Otherwise
+        # the fork happens mid-job — under the asyncio server that
+        # means workers inherit duplicates of whatever fds are live at
+        # the time (client sockets above all), and a connection the
+        # driver closes never reaches EOF while the long-lived workers
+        # hold their copies.
+        self._pool.submit(_process_worker_warmup).result()
 
     @staticmethod
     def _require_complete(
@@ -245,6 +287,8 @@ class ProcessExecutor(BaseExecutor):
                                     tasks[i].partition,
                                     res.wall_s,
                                     res.attempts,
+                                    t0_wall=res.t0_wall,
+                                    worker=res.worker,
                                 )
                             )
                     except Exception as exc:  # noqa: BLE001

@@ -2,7 +2,7 @@
 
 Every observable engine transition — job/stage/task lifecycle, task
 retries, shuffle writes and fetches, cache hits/misses/evictions — is a
-frozen dataclass posted to the context's :class:`EventBus`.  Observers
+dataclass posted to the context's :class:`EventBus`.  Observers
 subclass :class:`EngineListener` and override the hooks they care about;
 :meth:`EngineListener.on_event` dispatches by event type.
 
@@ -17,6 +17,13 @@ Design constraints, in order:
    swallowed; the job proceeds.
 3. **Thread-safe posting.**  Thread-mode tasks emit concurrently; the
    bus serializes delivery, so a listener sees a consistent stream.
+
+Every event additionally carries correlation metadata stamped at
+construction from :mod:`repro.engine.tracing`: the originating
+``trace_id``/``span_id`` (empty outside a trace scope) and the SBGT
+``phase`` the emitting code was tagged with, plus a wall-clock epoch
+view (:attr:`EngineEvent.wall`) that orders events across processes
+where the raw ``perf_counter`` stamp cannot.
 """
 
 from __future__ import annotations
@@ -25,6 +32,13 @@ import threading
 import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Type
+
+from repro.engine.tracing import (
+    EPOCH_OFFSET,
+    TraceContext,
+    _current_trace_for_event,
+    current_phase,
+)
 
 __all__ = [
     "EngineEvent",
@@ -47,27 +61,63 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass
 class EngineEvent:
-    """Base of every bus event; ``time`` is a ``perf_counter`` stamp."""
+    """Base of every bus event; ``time`` is a ``perf_counter`` stamp.
+
+    ``trace`` and ``phase`` are stamped automatically from the active
+    :func:`~repro.engine.tracing.trace_scope` / ``phase_scope`` when the
+    event is constructed; both are empty for uncorrelated work.
+
+    Events are plain (non-frozen) dataclasses on purpose: the always-on
+    flight recorder makes event construction a hot path, and a frozen
+    dataclass ``__init__`` costs ~4x (every field lands via
+    ``object.__setattr__``).  Treat instances as immutable — they are
+    shared by every listener on the bus.
+    """
 
     time: float = field(default_factory=time.perf_counter, init=False, compare=False)
+    trace: Optional[TraceContext] = field(
+        default_factory=_current_trace_for_event, init=False, compare=False, repr=False
+    )
+    phase: str = field(default_factory=current_phase, init=False, compare=False)
 
     @property
     def kind(self) -> str:
         """Lower-snake event name (``job_start``, ``task_retry``, …)."""
         return _KIND_BY_TYPE[type(self)]
 
+    @property
+    def wall(self) -> float:
+        """Wall-clock epoch seconds of the event (orders across processes)."""
+        return self.time + EPOCH_OFFSET
+
+    @property
+    def trace_id(self) -> str:
+        """Originating trace id ("" when emitted outside any scope)."""
+        return self.trace.trace_id if self.trace is not None else ""
+
+    @property
+    def span_id(self) -> str:
+        """Innermost span id at emission ("" outside any scope)."""
+        return self.trace.span_id if self.trace is not None else ""
+
     def to_dict(self) -> Dict[str, Any]:
         """Flat JSON-ready form (used by trace exporters)."""
-        out: Dict[str, Any] = {"kind": self.kind, "time": self.time}
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "time": self.time,
+            "wall": self.wall,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
         for f in fields(self):
-            if f.name != "time":
+            if f.name not in ("time", "trace"):
                 out[f.name] = getattr(self, f.name)
         return out
 
 
-@dataclass(frozen=True)
+@dataclass
 class JobStart(EngineEvent):
     """An action entered the scheduler."""
 
@@ -75,7 +125,7 @@ class JobStart(EngineEvent):
     description: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass
 class JobEnd(EngineEvent):
     """The scheduler finished (or abandoned) a job."""
 
@@ -84,7 +134,7 @@ class JobEnd(EngineEvent):
     succeeded: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass
 class StageStart(EngineEvent):
     """A stage's task wave is about to be submitted."""
 
@@ -94,7 +144,7 @@ class StageStart(EngineEvent):
     job_id: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class StageEnd(EngineEvent):
     """Every task of the stage has reported."""
 
@@ -104,7 +154,7 @@ class StageEnd(EngineEvent):
     job_id: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class TaskStart(EngineEvent):
     """One attempt of one task is starting (attempt counts from 1)."""
 
@@ -113,17 +163,26 @@ class TaskStart(EngineEvent):
     attempt: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass
 class TaskEnd(EngineEvent):
-    """A task attempt succeeded."""
+    """A task attempt succeeded.
+
+    ``t0_wall`` is the wall-clock epoch at which the attempt *started*,
+    stamped inside the worker (thread or forked process), so exporters
+    can place the task slice on the true timeline even though the event
+    itself is posted from the driver.  ``worker`` identifies the
+    executing worker as ``"<pid>/<thread-name>"``.
+    """
 
     stage_id: int
     partition: int
     wall_s: float
     attempts: int = 1
+    t0_wall: float = 0.0
+    worker: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass
 class TaskRetry(EngineEvent):
     """A task attempt failed (the driver may resubmit it)."""
 
@@ -133,7 +192,7 @@ class TaskRetry(EngineEvent):
     error: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass
 class ShuffleWrite(EngineEvent):
     """A map task registered its output buckets."""
 
@@ -142,7 +201,7 @@ class ShuffleWrite(EngineEvent):
     records: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass
 class ShuffleFetch(EngineEvent):
     """A reduce-side read of one shuffle partition."""
 
@@ -150,7 +209,7 @@ class ShuffleFetch(EngineEvent):
     reduce_id: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class CacheHit(EngineEvent):
     """A cached partition was served from the block store."""
 
@@ -158,7 +217,7 @@ class CacheHit(EngineEvent):
     partition: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class CacheMiss(EngineEvent):
     """A cache()-ed partition had to be (re)computed."""
 
@@ -166,7 +225,7 @@ class CacheMiss(EngineEvent):
     partition: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class CacheEvict(EngineEvent):
     """LRU pressure dropped a cached partition."""
 

@@ -108,6 +108,17 @@ class Scheduler:
                         )
             results = self._run_result_stage(final_stage, func, list(partitions), job)
             succeeded = True
+        except Exception as exc:
+            # Failure post-mortem: ship the flight recorder's last event
+            # window with the exception so the caller sees what the
+            # engine was doing when the job died.
+            recorder = getattr(ctx, "flight_recorder", None)
+            if recorder is not None and getattr(exc, "post_mortem", None) is None:
+                try:
+                    exc.post_mortem = recorder.tail(64)
+                except (AttributeError, TypeError):  # exceptions with __slots__
+                    pass
+            raise
         finally:
             job.wall_s = time.perf_counter() - t_job
             ctx.metrics.record(job)

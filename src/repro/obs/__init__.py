@@ -5,8 +5,15 @@ and the SBGT layers: a :class:`Tracer` tags work by SBGT phase
 (``lattice-op`` / ``selection`` / ``analysis``), collects per-stage
 screen telemetry, and exports JSON-lines traces readable by
 ``python -m repro trace``.
+
+The :mod:`repro.obs.flight` flight recorder is the always-on
+counterpart (registered by every :class:`~repro.engine.Context` unless
+configured off), and :mod:`repro.obs.chrome` renders either source into
+Chrome trace-event JSON for ``chrome://tracing`` / Perfetto.
 """
 
+from repro.obs.chrome import chrome_trace, read_jsonl_records, validate_chrome_trace
+from repro.obs.flight import FlightRecorder
 from repro.obs.tracer import (
     PHASE_ANALYSIS,
     PHASE_LATTICE,
@@ -31,4 +38,8 @@ __all__ = [
     "current_tracer",
     "trace_phase",
     "traced",
+    "FlightRecorder",
+    "chrome_trace",
+    "read_jsonl_records",
+    "validate_chrome_trace",
 ]

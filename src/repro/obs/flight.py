@@ -1,0 +1,190 @@
+"""The always-on flight recorder: a bounded black box for the engine.
+
+Every :class:`~repro.engine.Context` registers a :class:`FlightRecorder`
+on its event bus by default (``EngineConfig.flight_recorder``).  It
+keeps the last N events in a ring buffer plus a small log of slow
+operations, cheap enough to leave on in production: recording an event
+is a couple of ``deque.append`` calls, no locking (the bus serializes
+delivery; readers tolerate concurrent appends).
+
+Three consumers read it back:
+
+* failure post-mortems — the scheduler attaches :meth:`tail` to any
+  exception escaping ``run_job`` (``exc.post_mortem``);
+* the serving layer's ``/debug/events``, ``/debug/traces/{id}`` and
+  ``/debug/slow`` endpoints;
+* the Chrome trace exporter (:func:`repro.obs.chrome.chrome_trace`),
+  which renders :meth:`events` into a ``chrome://tracing`` timeline.
+
+All public accessors return plain event *dicts* (see
+:meth:`~repro.engine.listener.EngineEvent.to_dict`) so the results are
+JSON-ready and safe to hold after the recorder rolls over.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Dict, List, Optional
+
+from repro.engine.listener import EngineEvent, EngineListener
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder(EngineListener):
+    """Lock-free bounded recording of the event stream.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest event is dropped when full.
+    slow_threshold_s:
+        Events carrying a ``wall_s`` duration above this are copied
+        into a separate slow-op log (itself bounded) so a burst of fast
+        events cannot roll slow outliers out of reach.
+    slow_capacity:
+        Size of the slow-op log.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        slow_threshold_s: float = 0.1,
+        slow_capacity: int = 256,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if slow_threshold_s < 0:
+            raise ValueError("slow_threshold_s must be >= 0")
+        self.capacity = int(capacity)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._slow: deque = deque(maxlen=int(slow_capacity))
+        self._seq = 0  # monotone id of the next event (== total seen)
+        self._cleared = 0  # events discarded by clear(), not by eviction
+
+    # ------------------------------------------------------------------
+    # recording (bus-facing)
+    # ------------------------------------------------------------------
+    def on_event(self, event: EngineEvent) -> None:
+        """Record *event*; O(1) and lock-free, called for every bus post.
+
+        No lock on purpose: the :class:`~repro.engine.listener.EventBus`
+        already serializes delivery, ``deque.append`` with ``maxlen`` is
+        itself thread-safe, and this runs inside every observed job's
+        hot path.  Readers cope with concurrent appends (see
+        :meth:`_pairs`).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._ring.append((seq, event))
+        if getattr(event, "wall_s", 0.0) > self.slow_threshold_s:
+            self._slow.append((seq, event))
+
+    # ------------------------------------------------------------------
+    # readback
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_dict(seq: int, event: EngineEvent) -> Dict[str, Any]:
+        out = event.to_dict()
+        out["seq"] = seq
+        return out
+
+    @staticmethod
+    def _snapshot_deque(ring: deque) -> list:
+        """Copy a deque that another thread may be appending to."""
+        while True:
+            try:
+                return list(ring)
+            except RuntimeError:  # mutated during iteration; rare — retry
+                continue
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Recorded events oldest-first, optionally filtered.
+
+        ``kind`` filters on the event's kind string (``"task_end"``),
+        ``trace_id`` on the stamped originating trace, and ``limit``
+        keeps only the *newest* matches.
+        """
+        pairs = self._snapshot_deque(self._ring)
+        out = [self._to_dict(s, e) for s, e in pairs]
+        if kind is not None:
+            out = [d for d in out if d["kind"] == kind]
+        if trace_id is not None:
+            out = [d for d in out if d["trace_id"] == trace_id]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def tail(self, n: int = 64) -> List[Dict[str, Any]]:
+        """The newest *n* events, oldest-first (the post-mortem window)."""
+        return self.events(limit=n)
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every retained event stamped with *trace_id*, oldest-first."""
+        return self.events(trace_id=trace_id)
+
+    def trace_summary(self, trace_id: str) -> Dict[str, Any]:
+        """Aggregate view of one trace: span, event kinds, phases."""
+        events = self.trace(trace_id)
+        kinds = Counter(d["kind"] for d in events)
+        phases = sorted({d["phase"] for d in events if d["phase"]})
+        walls = [d["wall"] for d in events]
+        return {
+            "trace_id": trace_id,
+            "events": len(events),
+            "kinds": dict(kinds),
+            "phases": phases,
+            "first_wall": min(walls) if walls else None,
+            "last_wall": max(walls) if walls else None,
+            "wall_span_s": (max(walls) - min(walls)) if walls else 0.0,
+        }
+
+    def traces(self) -> List[str]:
+        """Distinct trace ids currently retained, oldest-first."""
+        seen: Dict[str, None] = {}
+        for d in self.events():
+            if d["trace_id"]:
+                seen.setdefault(d["trace_id"], None)
+        return list(seen)
+
+    def slow(self) -> List[Dict[str, Any]]:
+        """Slow-op log: events with ``wall_s`` above the threshold."""
+        pairs = self._snapshot_deque(self._slow)
+        return [self._to_dict(s, e) for s, e in pairs]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters describing the recorder itself (for ``/debug``)."""
+        total, recorded = self._seq, len(self._ring)
+        return {
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "total_seen": total,
+            "dropped": max(0, total - self._cleared - recorded),
+            "slow_threshold_s": self.slow_threshold_s,
+            "slow_recorded": len(self._slow),
+        }
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        """Forget everything recorded (``total_seen`` survives)."""
+        self._cleared += len(self._ring)
+        self._ring.clear()
+        self._slow.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        return (
+            f"FlightRecorder(recorded={snap['recorded']}/{snap['capacity']}, "
+            f"total_seen={snap['total_seen']}, slow={snap['slow_recorded']})"
+        )

@@ -15,9 +15,10 @@ entropy) never double-counts.  Phase totals sum self times and therefore
 partition the instrumented wall clock.
 
 One tracer may be *installed* process-wide (``with tracer:`` or
-:meth:`Tracer.install`); :func:`trace_phase` is a no-op returning a
-shared null context manager while none is installed, which keeps the
-instrumented hot paths allocation-free in the common untraced case.
+:meth:`Tracer.install`); while none is installed :func:`trace_phase`
+degrades to a bare :func:`~repro.engine.tracing.phase_scope` — no span
+accounting, just the contextvar stamp that phase-attributes engine
+events for the always-on flight recorder.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from repro.engine.listener import (
     TaskEnd,
     TaskRetry,
 )
+from repro.engine.tracing import EPOCH_OFFSET, phase_scope, reset_phase, set_phase
 
 __all__ = [
     "PHASE_LATTICE",
@@ -69,6 +71,10 @@ class PhaseSpan:
     wall_s: float = 0.0
     self_s: float = 0.0
     depth: int = 0
+    #: Wall-clock epoch of span entry (``t0`` mapped off perf_counter);
+    #: 0.0 in records predating the field.  Lets exporters place spans
+    #: on the same timeline as cross-process events.
+    t0_wall: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -79,6 +85,7 @@ class PhaseSpan:
             "wall_s": self.wall_s,
             "self_s": self.self_s,
             "depth": self.depth,
+            "t0_wall": self.t0_wall,
         }
 
 
@@ -156,9 +163,15 @@ class Tracer(EngineListener):
         frame = _Frame(phase, label, time.perf_counter(), len(stack))
         stack.append(frame)
         self._current_phase = phase
+        # Mirror into the engine's phase contextvar so every bus event
+        # emitted under this span is stamped with the phase (the var
+        # follows thread-pool tasks via copy_context; the tls stack
+        # above stays driver-thread-local for self-time accounting).
+        token = set_phase(phase)
         try:
             yield
         finally:
+            reset_phase(token)
             stack.pop()
             wall = time.perf_counter() - frame.t0
             self_s = max(0.0, wall - frame.child_s)
@@ -167,7 +180,15 @@ class Tracer(EngineListener):
                 self._current_phase = stack[-1].phase
             else:
                 self._current_phase = ""
-            span = PhaseSpan(phase, label, frame.t0, wall, self_s, frame.depth)
+            span = PhaseSpan(
+                phase,
+                label,
+                frame.t0,
+                wall,
+                self_s,
+                frame.depth,
+                t0_wall=frame.t0 + EPOCH_OFFSET,
+            )
             with self._lock:
                 if len(self.spans) < self._keep_spans:
                     self.spans.append(span)
@@ -335,29 +356,23 @@ class Tracer(EngineListener):
 _active: Optional[Tracer] = None
 
 
-class _NullContext:
-    __slots__ = ()
-
-    def __enter__(self) -> None:
-        return None
-
-    def __exit__(self, *exc) -> None:
-        return None
-
-
-_NULL = _NullContext()
-
-
 def current_tracer() -> Optional[Tracer]:
     """The installed process-wide tracer, if any."""
     return _active
 
 
 def trace_phase(phase: str, label: str = ""):
-    """Span context manager against the installed tracer (no-op if none)."""
+    """Span context manager against the installed tracer.
+
+    Without an installed tracer this degrades to a bare
+    :func:`~repro.engine.tracing.phase_scope` — no span accounting, but
+    engine events emitted inside the region still carry the phase stamp
+    (one contextvar set/reset, cheap enough for the always-on flight
+    recorder to rely on).
+    """
     tracer = _active
     if tracer is None:
-        return _NULL
+        return phase_scope(phase)
     return tracer.phase(phase, label)
 
 
@@ -371,7 +386,8 @@ def traced(phase: str, label: str = "") -> Callable:
         def wrapper(*args, **kwargs):
             tracer = _active
             if tracer is None:
-                return fn(*args, **kwargs)
+                with phase_scope(phase):
+                    return fn(*args, **kwargs)
             with tracer.phase(phase, span_label):
                 return fn(*args, **kwargs)
 

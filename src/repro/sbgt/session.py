@@ -301,16 +301,20 @@ class SBGTSession:
     def _run_screen_loop(
         self, policy, rng, cohort, stopping_rule, _loss_final_report
     ) -> ScreenResult:
+        from repro.engine.tracing import ensure_trace
         from repro.sbgt.stepper import ScreenStepper
 
         gen = as_rng(rng)
         if cohort is None:
             cohort = make_cohort(self.prior, gen)
         lab = TestLab(self.model, cohort.truth_mask, gen)
-        stepper = ScreenStepper(self, policy, stopping_rule=stopping_rule)
-        while not stepper.done:
-            pools = stepper.next_pools()
-            stepper.submit_outcomes([lab.run(pool) for pool in pools])
+        # Correlate the whole screen under one trace_id (inheriting the
+        # caller's — e.g. a serve request — when one is already open).
+        with ensure_trace(name="run_screen"):
+            stepper = ScreenStepper(self, policy, stopping_rule=stopping_rule)
+            while not stepper.done:
+                pools = stepper.next_pools()
+                stepper.submit_outcomes([lab.run(pool) for pool in pools])
         return stepper.result(cohort)
 
     # ------------------------------------------------------------------

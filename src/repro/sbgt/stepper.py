@@ -25,9 +25,11 @@ Protocol::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, List, Optional, Sequence
 
 from repro.bayes.evidence import TestRecord
+from repro.engine.tracing import current_trace, trace_scope
 from repro.halving.policy import SelectionPolicy
 from repro.metrics.classification import evaluate_classification
 from repro.metrics.efficiency import efficiency_report
@@ -91,6 +93,17 @@ class ScreenStepper:
         """Pools proposed but not yet answered (None when none are out)."""
         return list(self._pending) if self._pending is not None else None
 
+    def _stage_scope(self, step: str):
+        """Child span for one stage step, only when a trace is active.
+
+        Keeps every engine event of the step under the screen's (or
+        request's) trace_id with a per-stage span, without minting
+        orphan root traces for uncorrelated callers.
+        """
+        if current_trace() is None:
+            return nullcontext()
+        return trace_scope(name=f"stage-{self.stages_used + 1}-{step}")
+
     def _check_done(self) -> None:
         # Mirrors the batch loop's check order: full classification ends
         # the screen, then the loss-based rule, then the stage budget.
@@ -124,7 +137,8 @@ class ScreenStepper:
             eligible = 0
             for i in self.report.undetermined():
                 eligible |= 1 << i
-            pools = self.session.select_pools(self.policy, eligible)
+            with self._stage_scope("select"):
+                pools = self.session.select_pools(self.policy, eligible)
             if not pools:
                 raise RuntimeError(f"policy {self.policy.name} proposed no pools")
             self._pending = [int(p) for p in pools]
@@ -146,15 +160,16 @@ class ScreenStepper:
         tracer = current_tracer()
         if tracer is not None:
             tracer.begin_screen_stage(session._stage)
-        self.stages_used += 1
         records: List[TestRecord] = []
-        for pool, outcome in zip(self._pending, outcomes):
-            records.append(session.update(pool, outcome))
-            self.num_tests += 1
-            self.num_samples += bin(pool).count("1")
-        prune_stats = session.prune()
-        self.report = session.classify()
-        session._compact_settled(self.report)
+        with self._stage_scope("update"):
+            for pool, outcome in zip(self._pending, outcomes):
+                records.append(session.update(pool, outcome))
+                self.num_tests += 1
+                self.num_samples += bin(pool).count("1")
+            prune_stats = session.prune()
+            self.report = session.classify()
+            session._compact_settled(self.report)
+        self.stages_used += 1
         if tracer is not None:
             drop = None
             if (

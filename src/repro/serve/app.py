@@ -20,23 +20,36 @@ Endpoints (all JSON)::
     GET  /sessions/{id}/next-pool      next stage's pool proposals
     POST /sessions/{id}/results        submit assay outcomes
     DELETE /sessions/{id}              close a session
+    GET  /debug/events                 flight-recorder window (?kind=&trace_id=&limit=)
+    GET  /debug/traces/{trace_id}      every retained event of one trace + summary
+    GET  /debug/slow                   slow-op log (ops above the threshold)
+    GET  /debug/chrome                 live Chrome trace-event export
 
 Responses for ``/calculator`` and ``/screen`` are byte-identical to
 ``python -m repro calculator --json`` / ``screen --json``; serving
 metadata (cache/batch disposition) travels in ``X-Repro-Source``
 headers so the bodies stay diffable.
+
+Every request runs under a :func:`~repro.engine.tracing.trace_scope`
+(honouring an ``X-Trace-Id`` request header, minting an id otherwise)
+and echoes the id in the ``X-Repro-Trace`` response header, so a client
+can immediately ask ``/debug/traces/{id}`` for everything — request,
+batch, job, stage, task, shuffle, cache — its call caused.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import contextvars
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.engine.config import EngineConfig
 from repro.engine.context import Context
+from repro.engine.tracing import trace_scope
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.events import BatchExecuted, RequestEnd, ServeMetricsListener, SessionEvent
@@ -60,6 +73,8 @@ class ServeConfig:
     port: int = 8000
     #: Engine parallelism of the shared context (thread mode).
     workers: int = 4
+    #: Executor backend of the shared context: serial/threads/processes.
+    engine_mode: str = "threads"
     #: Threads that run workload jobs off the event loop.
     compute_threads: int = 4
     #: Micro-batcher collection window, seconds.
@@ -70,10 +85,18 @@ class ServeConfig:
     max_inflight: int = 32
     max_sessions: int = 64
     session_ttl_s: float = 900.0
+    #: Flight-recorder ring size behind the /debug endpoints.
+    flight_capacity: int = 4096
+    #: Ops slower than this land in GET /debug/slow.
+    slow_threshold_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.engine_mode not in ("serial", "threads", "processes"):
+            raise ValueError(
+                f"engine_mode must be serial/threads/processes, got {self.engine_mode!r}"
+            )
         if self.compute_threads < 1:
             raise ValueError("compute_threads must be >= 1")
         if self.batch_window_s < 0:
@@ -89,7 +112,21 @@ class ReproServer:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
-        self.ctx = Context(mode="threads", parallelism=self.config.workers)
+        self.ctx = Context(
+            config=EngineConfig(
+                mode=self.config.engine_mode,
+                parallelism=self.config.workers,
+                flight_capacity=self.config.flight_capacity,
+                slow_threshold_s=self.config.slow_threshold_s,
+            )
+        )
+        # Materialize the executor pool before the listening socket (or
+        # any client connection) exists.  Process-mode workers fork the
+        # whole pool when the executor is built; a worker forked mid-
+        # request would inherit live connection fds, and a connection
+        # the driver closes never reaches EOF while a long-lived worker
+        # holds a duplicate.
+        _ = self.ctx.executor
         self.metrics_listener = ServeMetricsListener()
         self.ctx.add_listener(self.metrics_listener)
         self.cache: Optional[ResultCache] = (
@@ -150,7 +187,12 @@ class ReproServer:
     # ------------------------------------------------------------------
     async def _run_compute(self, thunk: Callable[[], Any]) -> Any:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, thunk)
+        # run_in_executor does not propagate contextvars: carry the
+        # request's trace scope onto the compute thread explicitly so
+        # engine events stay stamped with the originating trace_id.
+        return await loop.run_in_executor(
+            self._executor, contextvars.copy_context().run, thunk
+        )
 
     def _post(self, event) -> None:
         bus = self.ctx.event_bus
@@ -192,14 +234,21 @@ class ReproServer:
     # ------------------------------------------------------------------
     async def handle(self, request: Request) -> Response:
         t0 = time.perf_counter()
-        endpoint, response, source = await self._route(request)
-        wall = time.perf_counter() - t0
-        if 400 <= response.status < 500:
-            source = "rejected"
-        elif response.status >= 500:
-            source = "error"
-        self._post(RequestEnd(endpoint, response.status, wall, source))
+        # One trace per request: an X-Trace-Id header adopts the
+        # caller's id, otherwise a fresh one is minted.  The scope is
+        # token-reset on exit, so keep-alive connections cannot leak a
+        # trace into the next request.
+        client_trace = request.headers.get("x-trace-id", "").strip() or None
+        with trace_scope(trace_id=client_trace, name=request.path) as tc:
+            endpoint, response, source = await self._route(request)
+            wall = time.perf_counter() - t0
+            if 400 <= response.status < 500:
+                source = "rejected"
+            elif response.status >= 500:
+                source = "error"
+            self._post(RequestEnd(endpoint, response.status, wall, source))
         response.headers.setdefault("X-Repro-Source", source)
+        response.headers.setdefault("X-Repro-Trace", tc.trace_id)
         return response
 
     async def _route(self, request: Request) -> Tuple[str, Response, str]:
@@ -210,6 +259,10 @@ class ReproServer:
                 return "/healthz", self._healthz(), "computed"
             if segments == ["metrics"] and method == "GET":
                 return "/metrics", self._metrics(), "computed"
+            if segments and segments[0] == "debug":
+                if method != "GET":
+                    raise HttpError(405, f"{method} not allowed on /debug")
+                return self._debug(segments[1:], request)
             if segments == ["calculator"] and method == "POST":
                 return await self._calculator(request)
             if segments == ["screen"] and method == "POST":
@@ -280,6 +333,44 @@ class ReproServer:
             self.ctx.metrics.total_task_time(), 6
         )
         return json_response(doc)
+
+    def _debug(self, rest, request: Request) -> Tuple[str, Response, str]:
+        """The flight-recorder window: ``/debug/{events,traces,slow,chrome}``."""
+        recorder = self.ctx.flight_recorder
+        if recorder is None:
+            raise HttpError(404, "flight recorder is disabled on this server")
+        if rest == ["events"]:
+            try:
+                limit = int(request.query.get("limit", "256"))
+            except ValueError:
+                raise HttpError(400, "limit must be an integer") from None
+            events = recorder.events(
+                kind=request.query.get("kind") or None,
+                trace_id=request.query.get("trace_id") or None,
+                limit=limit,
+            )
+            doc = {"recorder": recorder.snapshot(), "events": events}
+            return "/debug/events", json_response(doc), "computed"
+        if len(rest) == 2 and rest[0] == "traces":
+            trace_id = rest[1]
+            doc = {
+                "summary": recorder.trace_summary(trace_id),
+                "events": recorder.trace(trace_id),
+            }
+            return "/debug/traces/{trace_id}", json_response(doc), "computed"
+        if rest == ["slow"]:
+            doc = {
+                "slow_threshold_s": recorder.slow_threshold_s,
+                "events": recorder.slow(),
+            }
+            return "/debug/slow", json_response(doc), "computed"
+        if rest == ["chrome"]:
+            from repro.obs.chrome import chrome_trace
+
+            trace_id = request.query.get("trace_id") or None
+            records = recorder.events(trace_id=trace_id, limit=recorder.capacity)
+            return "/debug/chrome", json_response(chrome_trace(records)), "computed"
+        raise HttpError(404, f"no such debug endpoint: /debug/{'/'.join(rest)}")
 
     async def _calculator(self, request: Request) -> Tuple[str, Response, str]:
         req = CalculatorRequest.from_payload(request.json())

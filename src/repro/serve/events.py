@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass
 class RequestEnd(EngineEvent):
     """One HTTP request finished (any status).
 
@@ -49,7 +49,7 @@ class RequestEnd(EngineEvent):
     source: str = "computed"
 
 
-@dataclass(frozen=True)
+@dataclass
 class BatchExecuted(EngineEvent):
     """The micro-batcher ran one coalesced job for ``waiters`` requests."""
 
@@ -58,7 +58,7 @@ class BatchExecuted(EngineEvent):
     wall_s: float
 
 
-@dataclass(frozen=True)
+@dataclass
 class SessionEvent(EngineEvent):
     """Interactive-session lifecycle (``action``: created/closed/expired)."""
 

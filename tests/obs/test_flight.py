@@ -1,0 +1,179 @@
+"""FlightRecorder: ring semantics, filters, slow log, post-mortems."""
+
+import pytest
+
+from repro.engine import Context, EngineError, trace_scope
+from repro.engine.listener import EventBus, JobEnd, JobStart, TaskEnd
+from repro.obs.flight import FlightRecorder
+
+
+def _post_tasks(recorder: FlightRecorder, n: int, **kw) -> None:
+    for i in range(n):
+        recorder.on_event(TaskEnd(stage_id=0, partition=i, wall_s=0.0, attempts=1, **kw))
+
+
+# ---------------------------------------------------------------------------
+# Construction / validation
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(slow_threshold_s=-0.1)
+
+    def test_repr_mentions_counts(self):
+        r = FlightRecorder(capacity=8)
+        _post_tasks(r, 3)
+        assert "3/8" in repr(r)
+
+
+# ---------------------------------------------------------------------------
+# Ring behaviour
+
+
+class TestRing:
+    def test_rollover_keeps_newest_and_counts_dropped(self):
+        r = FlightRecorder(capacity=4)
+        _post_tasks(r, 10)
+        assert len(r) == 4
+        events = r.events()
+        assert [d["partition"] for d in events] == [6, 7, 8, 9]
+        # seq is the global monotone id, not the ring index
+        assert [d["seq"] for d in events] == [6, 7, 8, 9]
+        snap = r.snapshot()
+        assert snap["total_seen"] == 10
+        assert snap["recorded"] == 4
+        assert snap["dropped"] == 6
+
+    def test_snapshot_keys_locked_down(self):
+        snap = FlightRecorder().snapshot()
+        assert set(snap) == {
+            "capacity",
+            "recorded",
+            "total_seen",
+            "dropped",
+            "slow_threshold_s",
+            "slow_recorded",
+        }
+
+    def test_clear_forgets_events_but_not_total(self):
+        r = FlightRecorder(capacity=8)
+        _post_tasks(r, 5)
+        r.clear()
+        assert len(r) == 0
+        assert r.events() == [] and r.slow() == []
+        snap = r.snapshot()
+        assert snap["total_seen"] == 5
+        assert snap["dropped"] == 0  # cleared, not evicted
+        _post_tasks(r, 2)
+        assert [d["seq"] for d in r.events()] == [5, 6]
+
+
+# ---------------------------------------------------------------------------
+# Filters and views
+
+
+class TestViews:
+    def test_kind_filter_and_limit_keep_newest(self):
+        r = FlightRecorder()
+        r.on_event(JobStart(job_id=1))
+        _post_tasks(r, 5)
+        r.on_event(JobEnd(job_id=1, wall_s=0.0))
+        assert [d["kind"] for d in r.events(kind="job_start")] == ["job_start"]
+        limited = r.events(kind="task_end", limit=2)
+        assert [d["partition"] for d in limited] == [3, 4]
+
+    def test_tail_is_newest_window_oldest_first(self):
+        r = FlightRecorder()
+        _post_tasks(r, 10)
+        tail = r.tail(3)
+        assert [d["partition"] for d in tail] == [7, 8, 9]
+
+    def test_trace_filter_and_summary(self):
+        r = FlightRecorder()
+        with trace_scope(name="op") as tc:
+            r.on_event(JobStart(job_id=1))
+            r.on_event(TaskEnd(stage_id=0, partition=0, wall_s=0.01, attempts=1))
+            r.on_event(JobEnd(job_id=1, wall_s=0.02))
+        r.on_event(JobStart(job_id=2))  # different (empty) trace
+
+        assert r.traces() == [tc.trace_id]
+        assert len(r.trace(tc.trace_id)) == 3
+        summary = r.trace_summary(tc.trace_id)
+        assert summary["trace_id"] == tc.trace_id
+        assert summary["events"] == 3
+        assert summary["kinds"] == {"job_start": 1, "task_end": 1, "job_end": 1}
+        assert summary["wall_span_s"] >= 0.0
+        assert summary["first_wall"] <= summary["last_wall"]
+
+    def test_trace_summary_of_unknown_trace_is_empty(self):
+        summary = FlightRecorder().trace_summary("deadbeef")
+        assert summary["events"] == 0
+        assert summary["first_wall"] is None
+        assert summary["wall_span_s"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Slow-op log
+
+
+class TestSlowLog:
+    def test_slow_events_copied_to_slow_log(self):
+        r = FlightRecorder(slow_threshold_s=0.05)
+        r.on_event(TaskEnd(stage_id=0, partition=0, wall_s=0.01, attempts=1))
+        r.on_event(TaskEnd(stage_id=0, partition=1, wall_s=0.5, attempts=1))
+        r.on_event(JobStart(job_id=1))  # no wall_s at all
+        slow = r.slow()
+        assert [d["partition"] for d in slow] == [1]
+        assert r.snapshot()["slow_recorded"] == 1
+
+    def test_slow_log_survives_ring_rollover(self):
+        r = FlightRecorder(capacity=4, slow_threshold_s=0.05)
+        r.on_event(TaskEnd(stage_id=0, partition=99, wall_s=1.0, attempts=1))
+        _post_tasks(r, 10)  # roll the slow event out of the ring
+        assert all(d["partition"] != 99 for d in r.events())
+        assert [d["partition"] for d in r.slow()] == [99]
+
+
+# ---------------------------------------------------------------------------
+# Bus + context integration
+
+
+def test_bus_registration_records_posts():
+    bus = EventBus()
+    r = bus.register(FlightRecorder())
+    bus.post(JobStart(job_id=7))
+    assert [d["kind"] for d in r.events()] == ["job_start"]
+
+
+def test_failed_job_gets_post_mortem_window():
+    with Context(mode="serial", parallelism=2, max_task_retries=0) as ctx:
+        def boom(x):
+            raise RuntimeError("kaput")
+
+        with pytest.raises(EngineError) as excinfo:
+            ctx.range(4, num_partitions=2).map(boom).collect()
+
+        pm = excinfo.value.post_mortem
+        assert isinstance(pm, list) and pm
+        kinds = {d["kind"] for d in pm}
+        assert "job_start" in kinds
+        assert all("seq" in d and "wall" in d for d in pm)
+
+
+def test_recorder_disabled_by_config_leaves_no_post_mortem():
+    from repro.engine import EngineConfig
+
+    cfg = EngineConfig(mode="serial", flight_recorder=False, max_task_retries=0)
+    with Context(config=cfg) as ctx:
+        assert ctx.flight_recorder is None
+        def boom(x):
+            raise RuntimeError("kaput")
+
+        with pytest.raises(EngineError) as excinfo:
+            ctx.range(4, num_partitions=2).map(boom).collect()
+        assert excinfo.value.post_mortem is None

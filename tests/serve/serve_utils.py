@@ -18,15 +18,18 @@ async def http_call(
     method: str,
     path: str,
     body: Optional[Any] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Any, Dict[str, str], bytes]:
     """One request on a fresh connection → (status, json, headers, raw body)."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
         payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + payload)

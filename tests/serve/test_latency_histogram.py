@@ -1,0 +1,95 @@
+"""LatencyHistogram unit contract: quantile edges and snapshot shape.
+
+The histogram backs every ``/metrics`` latency block, so its edge
+behaviour (no observations, one observation, q at the extremes) and its
+snapshot keys are locked down here — dashboards parse these fields.
+"""
+
+import pytest
+
+from repro.serve.events import LATENCY_BUCKETS_MS, LatencyHistogram
+
+
+class TestQuantileEdges:
+    def test_empty_histogram_returns_zero_everywhere(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_single_observation_dominates_all_quantiles(self):
+        h = LatencyHistogram()
+        h.observe(0.003)  # 3 ms → bucket with 5 ms upper bound
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(0.95) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_q_zero_is_smallest_occupied_bucket(self):
+        h = LatencyHistogram()
+        h.observe(0.0005)   # sub-ms → first bucket (1 ms bound)
+        h.observe(0.150)    # 150 ms → 200 ms bound
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 200.0
+
+    def test_quantile_is_bucket_upper_bound(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.observe(0.004)   # 5 ms bucket
+        h.observe(1.5)         # 2000 ms bucket
+        assert h.quantile(0.50) == 5.0
+        assert h.quantile(0.95) == 5.0
+        assert h.quantile(0.999) == 2000.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = LatencyHistogram()
+        h.observe(12.5)  # 12500 ms — beyond the last finite bound
+        assert h.quantile(0.5) == pytest.approx(12500.0)
+        assert h.quantile(1.0) == pytest.approx(12500.0)
+
+    def test_quantiles_are_monotone(self):
+        h = LatencyHistogram()
+        for ms in (0.5, 3, 8, 40, 90, 450, 4000):
+            h.observe(ms / 1000.0)
+        qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert qs == sorted(qs)
+
+
+class TestSnapshot:
+    def test_snapshot_keys_locked_down(self):
+        snap = LatencyHistogram().snapshot()
+        assert set(snap) == {
+            "count",
+            "mean_ms",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+            "buckets_ms",
+            "bucket_counts",
+        }
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean_ms"] == 0.0
+        assert snap["p50_ms"] == snap["p95_ms"] == snap["p99_ms"] == 0.0
+        assert snap["max_ms"] == 0.0
+        assert snap["buckets_ms"] == list(LATENCY_BUCKETS_MS)
+        assert snap["bucket_counts"] == [0] * (len(LATENCY_BUCKETS_MS) + 1)
+
+    def test_snapshot_accounts_every_observation(self):
+        h = LatencyHistogram()
+        h.observe(0.001)  # exactly a bucket bound: 1 ms
+        h.observe(0.007)
+        h.observe(0.007)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert sum(snap["bucket_counts"]) == 3
+        assert snap["mean_ms"] == pytest.approx((1 + 7 + 7) / 3, abs=0.001)
+        assert snap["max_ms"] == pytest.approx(7.0)
+
+    def test_bound_observation_lands_in_its_bucket(self):
+        """1 ms lands in the 1 ms bucket (bisect_left: bounds inclusive)."""
+        h = LatencyHistogram()
+        h.observe(0.001)
+        assert h.counts[0] == 1
