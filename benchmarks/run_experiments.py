@@ -16,6 +16,8 @@ script's output.  Timing tables use best-of-``repeats`` wall time.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 from typing import Callable, Dict, List
@@ -453,6 +455,63 @@ def run_r8(cfg: dict, _ctx: Context) -> str:
     return "\n\n".join(sections)
 
 
+def engine_bench() -> dict:
+    """Machine-readable micro-measurements of the process-mode data plane.
+
+    Three numbers the data-plane work is judged by: the repeated-action
+    speedup of the worker-resident block cache, the scheduler-job count
+    of one Bayes update (single-pass = 1), and the in-band/out-of-band
+    byte split when a lattice payload ships through pickle protocol 5.
+    """
+    from repro.engine.closure import serialize_oob
+    from repro.engine.listener import JobStart, RecordingListener
+
+    out: dict = {}
+
+    def slow(x):
+        time.sleep(0.01)
+        return x * x
+
+    n_actions = 6
+    with Context(mode="processes", parallelism=1) as c:
+        uncached = c.parallelize(list(range(5)), 1).map(slow)
+        cached = c.parallelize(list(range(5)), 1).map(slow).cache()
+        cached.sum()  # materialize in the worker store (untimed)
+        t0 = time.perf_counter()
+        for _ in range(n_actions):
+            uncached.sum()
+        wall_uncached = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(n_actions):
+            cached.sum()
+        wall_cached = time.perf_counter() - t0
+    out["process_worker_cache"] = {
+        "actions": n_actions,
+        "uncached_wall_s": round(wall_uncached, 4),
+        "cached_wall_s": round(wall_cached, 4),
+        "speedup": round(wall_uncached / wall_cached, 1),
+    }
+
+    n = 12
+    with Context(mode="serial") as c:
+        dl = DistributedLattice.from_prior(c, PriorSpec.uniform(n, 0.02), 8)
+        rec = c.add_listener(RecordingListener())
+        dl.update(_pool(n), MODEL.log_likelihood_by_count(True, n // 2))
+        jobs_per_update = len(rec.of_type(JobStart))
+        dl.unpersist()
+    out["bayes_update"] = {"n": n, "scheduler_jobs_per_update": jobs_per_update}
+
+    space = PriorSpec.uniform(14, 0.02).build_dense()
+    data, buffers = serialize_oob(space)
+    out["oob_shipping"] = {
+        "payload": "dense lattice, n=14 (16384 states)",
+        "inband_bytes": len(data),
+        "oob_buffers": len(buffers),
+        "oob_bytes": sum(len(b) for b in buffers),
+    }
+    return out
+
+
 EXPERIMENTS: Dict[str, Callable[[dict, Context], str]] = {
     "r1": run_r1,
     "r2": run_r2,
@@ -470,6 +529,16 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*", default=[], help="r1..r8 (default: all)")
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     parser.add_argument("--out", default=None, help="also write results to this file")
+    parser.add_argument(
+        "--engine-json",
+        default=str(pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"),
+        help="where to write the engine data-plane measurements (default: repo root)",
+    )
+    parser.add_argument(
+        "--skip-engine-json",
+        action="store_true",
+        help="skip the engine data-plane bench entirely",
+    )
     args = parser.parse_args(argv)
 
     wanted = [e.lower() for e in (args.experiments or sorted(EXPERIMENTS))]
@@ -491,6 +560,13 @@ def main(argv: List[str] | None = None) -> int:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(outputs) + "\n")
+
+    if not args.skip_engine_json:
+        bench = engine_bench()
+        with open(args.engine_json, "w") as fh:
+            json.dump(bench, fh, indent=2)
+            fh.write("\n")
+        print(f"[engine data-plane bench written to {args.engine_json}]")
     return 0
 
 

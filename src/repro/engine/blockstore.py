@@ -5,6 +5,14 @@ in SBGT, so "list of one array").  Sizes are estimated with
 ``sys.getsizeof`` plus ``nbytes`` for NumPy payloads; the store evicts
 least-recently-used whole partitions when over budget, never splitting a
 partition.
+
+Entries carry a **cache generation**: the per-RDD epoch the scheduler
+stamps into process-mode task payloads (see ``Context.cache_generation``).
+The driver store invalidates eagerly (``unpersist`` calls ``drop_rdd``),
+so its generations always match; worker-resident stores have no channel
+back to the driver, so a ``get`` carrying a newer generation is how a
+worker learns an entry went stale — the entry is purged (counted as an
+eviction) and the access is a miss.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ class BlockStore:
         self.capacity_bytes = int(capacity_bytes)
         self._blocks: "OrderedDict[BlockKey, List[Any]]" = OrderedDict()
         self._sizes: Dict[BlockKey, int] = {}
+        self._gens: Dict[BlockKey, int] = {}
         self._used = 0
         self._lock = threading.Lock()
         self._bus = bus
@@ -53,9 +62,19 @@ class BlockStore:
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key: BlockKey) -> Optional[List[Any]]:
+    def get(self, key: BlockKey, generation: int = 0) -> Optional[List[Any]]:
+        stale_size = 0
         with self._lock:
             block = self._blocks.get(key)
+            if block is not None and self._gens.get(key, 0) != generation:
+                # Stale generation: the driver unpersisted this RDD since
+                # the entry was cached.  Purge and treat as a miss.
+                stale_size = self._sizes.pop(key)
+                self._gens.pop(key, None)
+                del self._blocks[key]
+                self._used -= stale_size
+                self.evictions += 1
+                block = None
             if block is None:
                 self.misses += 1
             else:
@@ -63,10 +82,12 @@ class BlockStore:
                 self.hits += 1
         bus = self._bus
         if bus:
+            if stale_size:
+                bus.post(CacheEvict(key[0], key[1], stale_size))
             bus.post(CacheMiss(*key) if block is None else CacheHit(*key))
         return block
 
-    def put(self, key: BlockKey, records: List[Any]) -> None:
+    def put(self, key: BlockKey, records: List[Any], generation: int = 0) -> None:
         size = _estimate_size(records)
         evicted: List[tuple] = []
         with self._lock:
@@ -79,11 +100,13 @@ class BlockStore:
             while self._used + size > self.capacity_bytes and self._blocks:
                 old_key, _ = self._blocks.popitem(last=False)
                 old_size = self._sizes.pop(old_key)
+                self._gens.pop(old_key, None)
                 self._used -= old_size
                 self.evictions += 1
                 evicted.append((old_key, old_size))
             self._blocks[key] = records
             self._sizes[key] = size
+            self._gens[key] = generation
             self._used += size
         bus = self._bus
         if bus:
@@ -97,6 +120,7 @@ class BlockStore:
             keys = [k for k in self._blocks if k[0] == rdd_id]
             for k in keys:
                 size = self._sizes.pop(k)
+                self._gens.pop(k, None)
                 self._used -= size
                 del self._blocks[k]
                 self.evictions += 1
@@ -111,6 +135,7 @@ class BlockStore:
         with self._lock:
             self._blocks.clear()
             self._sizes.clear()
+            self._gens.clear()
             self._used = 0
 
     @property

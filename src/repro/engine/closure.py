@@ -16,11 +16,23 @@ import io
 import marshal
 import pickle
 import types
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, List, Sequence, Tuple
 
 from repro.engine.errors import SerializationError
 
-__all__ = ["serialize", "deserialize", "serialize_function", "deserialize_function"]
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serialize_oob",
+    "deserialize_oob",
+    "serialize_function",
+    "deserialize_function",
+]
+
+#: Out-of-band buffers need pickle protocol 5 (Python >= 3.8, always true
+#: here); pinned explicitly rather than via HIGHEST_PROTOCOL so the
+#: buffer_callback contract is visible at the call sites.
+OOB_PROTOCOL = 5
 
 
 def _referenced_names(code: types.CodeType) -> set:
@@ -113,6 +125,32 @@ def serialize(obj: Any) -> bytes:
 def deserialize(data: bytes) -> Any:
     """Inverse of :func:`serialize`."""
     return pickle.loads(data)
+
+
+def serialize_oob(obj: Any) -> Tuple[bytes, List[bytearray]]:
+    """Pickle *obj* with protocol-5 out-of-band buffers.
+
+    Returns ``(payload, buffers)``.  Contiguous NumPy arrays (lattice
+    masks and log-probs above all) surface as :class:`pickle.PickleBuffer`
+    views instead of being copied into the pickle stream; each view is
+    snapshotted into a ``bytearray`` so the pair can cross a process
+    boundary.  On the receiving side :func:`deserialize_oob` rebuilds the
+    arrays as views over those buffers — no load-side copy — which is why
+    the snapshots are ``bytearray`` (mutable) rather than ``bytes``: the
+    reconstructed arrays stay writable, preserving in-band semantics.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    buf = io.BytesIO()
+    try:
+        _ClosurePickler(buf, protocol=OOB_PROTOCOL, buffer_callback=buffers.append).dump(obj)
+    except Exception as exc:  # pragma: no cover - depends on payload
+        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    return buf.getvalue(), [bytearray(pb) for pb in buffers]
+
+
+def deserialize_oob(data: bytes, buffers: Sequence[Any]) -> Any:
+    """Inverse of :func:`serialize_oob` (buffers resolve by position)."""
+    return pickle.loads(data, buffers=buffers)
 
 
 def serialize_function(fn: Callable) -> bytes:

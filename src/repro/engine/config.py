@@ -39,6 +39,11 @@ class EngineConfig:
         How many times a failing task is retried before the job aborts.
     cache_capacity_bytes:
         LRU budget of the block store for ``cache()``-ed partitions.
+    worker_cache_capacity_bytes:
+        Process mode only: LRU budget of each forked worker's resident
+        block store (every worker holds its own).  Smaller than the
+        driver budget by default because the total is multiplied by the
+        worker count.
     task_batch_size:
         Hint: number of tasks handed to the executor per submission wave.
     enable_events:
@@ -62,6 +67,7 @@ class EngineConfig:
     shuffle_partitions: int = 0
     max_task_retries: int = 2
     cache_capacity_bytes: int = 1 << 30
+    worker_cache_capacity_bytes: int = 256 << 20
     task_batch_size: int = 64
     enable_events: bool = True
     flight_recorder: bool = True
@@ -79,6 +85,8 @@ class EngineConfig:
             raise ValueError("max_task_retries must be >= 0")
         if self.cache_capacity_bytes <= 0:
             raise ValueError("cache_capacity_bytes must be positive")
+        if self.worker_cache_capacity_bytes <= 0:
+            raise ValueError("worker_cache_capacity_bytes must be positive")
         if self.flight_capacity <= 0:
             raise ValueError("flight_capacity must be positive")
         if self.slow_threshold_s < 0:

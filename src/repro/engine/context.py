@@ -77,6 +77,10 @@ class Context:
         self.accumulator_registry = AccumulatorRegistry()
         self._scheduler = Scheduler(self)
         self._rdd_ids = itertools.count()
+        # Per-RDD cache epochs (the cache-generation protocol): bumped on
+        # unpersist, stamped into process-mode task payloads so worker-
+        # resident stores drop stale entries without a driver channel.
+        self._cache_generations: dict = {}
         self._lock = threading.Lock()
         self._executor: Optional[BaseExecutor] = None
         self._stopped = False
@@ -95,6 +99,7 @@ class Context:
                     self.config.max_task_retries,
                     self.config.effective_parallelism,
                     bus=self.event_bus,
+                    generations=self._cache_generations,
                 )
             return self._executor
 
@@ -196,6 +201,19 @@ class Context:
         return next(self._rdd_ids)
 
     # ------------------------------------------------------------------
+    # cache-generation protocol
+    # ------------------------------------------------------------------
+    def cache_generation(self, rdd_id: int) -> int:
+        """Current cache epoch of *rdd_id* (0 until first unpersist)."""
+        return self._cache_generations.get(rdd_id, 0)
+
+    def bump_cache_generation(self, rdd_id: int) -> int:
+        """Advance *rdd_id*'s epoch, invalidating worker-cached entries."""
+        gen = self._cache_generations.get(rdd_id, 0) + 1
+        self._cache_generations[rdd_id] = gen
+        return gen
+
+    # ------------------------------------------------------------------
     # pickling: tasks close over RDDs which reference the context.  On a
     # worker only `config` is ever consulted, so ship a stub that keeps
     # the config and raises if driver-only machinery is touched.
@@ -213,6 +231,7 @@ class Context:
         self.accumulator_registry = None
         self._scheduler = None
         self._rdd_ids = itertools.count()
+        self._cache_generations = {}
         self._lock = threading.Lock()
         self._executor = None
         self._stopped = True  # any action attempt on a worker fails fast

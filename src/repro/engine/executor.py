@@ -13,6 +13,17 @@ trade isolation for overhead:
   Spark's separate executors (and to the serialization costs the repro
   notes warn about for PySpark).
 
+Process-mode data plane
+-----------------------
+Tasks and results cross the fork boundary as protocol-5 pickles with
+out-of-band buffers (:func:`repro.engine.closure.serialize_oob`), so
+NumPy payloads — lattice masks and log-probs above all — travel as raw
+buffers instead of in-band bytes.  Each forked worker keeps a
+process-resident :class:`BlockStore` serving ``cache()``-ed partitions
+across jobs; entries are validated against the cache generation the
+scheduler stamps into each task, and per-task cache events are relayed
+back to the driver bus inside the :class:`TaskResult`.
+
 Retries happen at the driver: a task raising is resubmitted up to
 ``max_task_retries`` times before :class:`TaskFailedError` aborts the job.
 """
@@ -31,8 +42,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.engine import closure as closure_mod
 from repro.engine.accumulator import close_task_staging, open_task_staging
 from repro.engine.blockstore import BlockStore
-from repro.engine.errors import JobFailedError, TaskFailedError
-from repro.engine.listener import EventBus, TaskEnd, TaskRetry, TaskStart
+from repro.engine.errors import EngineError, JobFailedError, TaskFailedError
+from repro.engine.listener import (
+    CacheEvict,
+    CacheHit,
+    CacheMiss,
+    EventBus,
+    TaskEnd,
+    TaskRetry,
+    TaskStart,
+)
 from repro.engine.shuffle import (
     LocalShuffleFetcher,
     PayloadShuffleFetcher,
@@ -53,13 +72,37 @@ __all__ = [
 
 
 class TaskEnv:
-    """What a running task can reach: shuffle input and (maybe) the cache."""
+    """What a running task can reach: shuffle input, cache, sources."""
 
-    __slots__ = ("fetcher", "blockstore")
+    __slots__ = ("fetcher", "blockstore", "generations", "sources")
 
-    def __init__(self, fetcher: ShuffleFetcher, blockstore: Optional[BlockStore]) -> None:
+    def __init__(
+        self,
+        fetcher: ShuffleFetcher,
+        blockstore: Optional[BlockStore],
+        generations: Optional[Dict[int, int]] = None,
+        sources: Optional[Dict[Tuple[int, int], list]] = None,
+    ) -> None:
         self.fetcher = fetcher
         self.blockstore = blockstore
+        self.generations = generations
+        self.sources = sources
+
+    def generation_of(self, rdd_id: int) -> int:
+        """Cache epoch of *rdd_id* as known to this task."""
+        if self.generations is None:
+            return 0
+        return self.generations.get(rdd_id, 0)
+
+    def source_records(self, rdd_id: int, split: int) -> list:
+        """Driver-held source partition shipped with the task."""
+        if self.sources is not None:
+            records = self.sources.get((rdd_id, split))
+            if records is not None:
+                return records
+        raise EngineError(
+            f"task payload is missing source partition rdd={rdd_id} split={split}"
+        )
 
 
 @dataclass
@@ -72,6 +115,14 @@ class Task:
     # Process mode only: {(shuffle_id, reduce_id): bucket} copied in by the
     # scheduler so the worker needs no channel back to the driver.
     shuffle_payload: Optional[Dict[Tuple[int, int], list]] = None
+    # Process mode only: cache epochs of the cached RDDs in this task's
+    # narrow lineage, so the worker store can detect stale entries.
+    cache_generations: Optional[Dict[int, int]] = None
+    # Process mode only: {(rdd_id, split): records} for source RDDs whose
+    # data stays at the driver (their pickles ship without it).
+    source_payload: Optional[Dict[Tuple[int, int], list]] = None
+    # Process mode only: capacity for the lazily-created worker store.
+    worker_cache_bytes: int = 0
 
     def run(self, env: TaskEnv) -> "TaskResult":
         open_task_staging()
@@ -100,6 +151,10 @@ class TaskResult:
     t0_wall: float = 0.0
     #: ``"<pid>/<thread-name>"`` of the executing worker.
     worker: str = ""
+    #: Worker-store cache activity as compact ``(kind, rdd_id, partition,
+    #: size)`` tuples; the driver replays them onto its bus (process mode
+    #: has no live event channel from the workers).
+    cache_events: List[tuple] = field(default_factory=list)
 
 
 class BaseExecutor:
@@ -111,14 +166,20 @@ class BaseExecutor:
         blockstore: BlockStore,
         max_retries: int,
         bus: Optional[EventBus] = None,
+        generations: Optional[Dict[int, int]] = None,
     ) -> None:
         self._manager = manager
         self._blockstore = blockstore
         self._max_retries = max_retries
         self._bus = bus
+        # Live view of the driver's cache-generation registry (serial and
+        # thread tasks read it directly; process tasks get a snapshot).
+        self._generations = generations
 
     def _local_env(self) -> TaskEnv:
-        return TaskEnv(LocalShuffleFetcher(self._manager), self._blockstore)
+        return TaskEnv(
+            LocalShuffleFetcher(self._manager), self._blockstore, self._generations
+        )
 
     def _run_with_retries(self, task: Task, env: TaskEnv) -> TaskResult:
         bus = self._bus
@@ -173,8 +234,9 @@ class ThreadExecutor(BaseExecutor):
         max_retries: int,
         num_workers: int,
         bus: Optional[EventBus] = None,
+        generations: Optional[Dict[int, int]] = None,
     ) -> None:
-        super().__init__(manager, blockstore, max_retries, bus)
+        super().__init__(manager, blockstore, max_retries, bus, generations)
         self._pool = cf.ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="engine-worker"
         )
@@ -205,11 +267,74 @@ class ThreadExecutor(BaseExecutor):
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _process_worker_run(task_bytes: bytes) -> TaskResult:
+#: Per-worker resident block store (fork mode keeps workers alive across
+#: jobs, so cached partitions survive between actions).  Workers run one
+#: task at a time, so unlocked module state is safe.
+_WORKER_STORE: Optional[BlockStore] = None
+
+
+def _worker_store(capacity_bytes: int) -> BlockStore:
+    global _WORKER_STORE
+    if _WORKER_STORE is None:
+        _WORKER_STORE = BlockStore(capacity_bytes or (256 << 20))
+    return _WORKER_STORE
+
+
+class _CacheEventTap:
+    """Bus stand-in installed on the worker store for one task.
+
+    Collapses cache events into compact tuples the :class:`TaskResult`
+    carries back; the driver replays them as real events (workers have
+    no channel to the driver bus).  Truthy so the store's ``if bus:``
+    guards fire.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def post(self, event: Any) -> None:
+        if isinstance(event, CacheHit):
+            self.events.append(("hit", event.rdd_id, event.partition, 0))
+        elif isinstance(event, CacheMiss):
+            self.events.append(("miss", event.rdd_id, event.partition, 0))
+        elif isinstance(event, CacheEvict):
+            self.events.append(("evict", event.rdd_id, event.partition, event.size_bytes))
+
+
+def _replay_cache_events(bus: EventBus, events: List[tuple]) -> None:
+    """Re-post worker cache activity on the driver bus, trace-stamped."""
+    for kind, rdd_id, partition, size in events:
+        if kind == "hit":
+            bus.post(CacheHit(rdd_id, partition))
+        elif kind == "miss":
+            bus.post(CacheMiss(rdd_id, partition))
+        else:
+            bus.post(CacheEvict(rdd_id, partition, size))
+
+
+def _process_worker_run(task_bytes: bytes, task_buffers: List[bytearray]) -> Tuple[bytes, List[bytearray]]:
     """Worker-side entry: rebuild the task, run against a payload env."""
-    task: Task = closure_mod.deserialize(task_bytes)
-    env = TaskEnv(PayloadShuffleFetcher(task.shuffle_payload or {}), None)
-    return task.run(env)
+    task: Task = closure_mod.deserialize_oob(task_bytes, task_buffers)
+    store = _worker_store(task.worker_cache_bytes)
+    tap = _CacheEventTap()
+    store._bus = tap
+    env = TaskEnv(
+        PayloadShuffleFetcher(task.shuffle_payload or {}),
+        store,
+        task.cache_generations,
+        task.source_payload,
+    )
+    try:
+        result = task.run(env)
+    finally:
+        store._bus = None
+    result.cache_events = tap.events
+    return closure_mod.serialize_oob(result)
 
 
 def _process_worker_warmup() -> int:
@@ -226,8 +351,9 @@ class ProcessExecutor(BaseExecutor):
         max_retries: int,
         num_workers: int,
         bus: Optional[EventBus] = None,
+        generations: Optional[Dict[int, int]] = None,
     ) -> None:
-        super().__init__(manager, blockstore, max_retries, bus)
+        super().__init__(manager, blockstore, max_retries, bus, generations)
         ctx = multiprocessing.get_context("fork")
         self._pool = cf.ProcessPoolExecutor(max_workers=num_workers, mp_context=ctx)
         self._lock = threading.Lock()
@@ -264,10 +390,10 @@ class ProcessExecutor(BaseExecutor):
         bus = self._bus
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         pending = {i: 0 for i in range(len(tasks))}  # task index -> attempts
-        payloads = [closure_mod.serialize(t) for t in tasks]
+        payloads = [closure_mod.serialize_oob(t) for t in tasks]
         with self._lock:  # one job wave at a time through this pool
             futures = {
-                self._pool.submit(_process_worker_run, payloads[i]): i for i in pending
+                self._pool.submit(_process_worker_run, *payloads[i]): i for i in pending
             }
             if bus:
                 for i in pending:
@@ -277,7 +403,7 @@ class ProcessExecutor(BaseExecutor):
                 for fut in done:
                     i = futures.pop(fut)
                     try:
-                        res = fut.result()
+                        res: TaskResult = closure_mod.deserialize_oob(*fut.result())
                         res.attempts = pending[i] + 1
                         results[i] = res
                         if bus:
@@ -291,6 +417,7 @@ class ProcessExecutor(BaseExecutor):
                                     worker=res.worker,
                                 )
                             )
+                            _replay_cache_events(bus, res.cache_events)
                     except Exception as exc:  # noqa: BLE001
                         pending[i] += 1
                         if bus:
@@ -308,7 +435,7 @@ class ProcessExecutor(BaseExecutor):
                             raise TaskFailedError(
                                 tasks[i].stage_id, tasks[i].partition, pending[i], exc
                             ) from exc
-                        futures[self._pool.submit(_process_worker_run, payloads[i])] = i
+                        futures[self._pool.submit(_process_worker_run, *payloads[i])] = i
                         if bus:
                             bus.post(
                                 TaskStart(
@@ -328,12 +455,13 @@ def make_executor(
     max_retries: int,
     num_workers: int,
     bus: Optional[EventBus] = None,
+    generations: Optional[Dict[int, int]] = None,
 ) -> BaseExecutor:
     """Factory keyed on :attr:`EngineConfig.mode`."""
     if mode == "serial":
-        return SerialExecutor(manager, blockstore, max_retries, bus)
+        return SerialExecutor(manager, blockstore, max_retries, bus, generations)
     if mode == "threads":
-        return ThreadExecutor(manager, blockstore, max_retries, num_workers, bus)
+        return ThreadExecutor(manager, blockstore, max_retries, num_workers, bus, generations)
     if mode == "processes":
-        return ProcessExecutor(manager, blockstore, max_retries, num_workers, bus)
+        return ProcessExecutor(manager, blockstore, max_retries, num_workers, bus, generations)
     raise ValueError(f"unknown executor mode {mode!r}")

@@ -194,19 +194,31 @@ class TaskRetry(EngineEvent):
 
 @dataclass
 class ShuffleWrite(EngineEvent):
-    """A map task registered its output buckets."""
+    """A map task registered its output buckets.
+
+    ``buffer_bytes`` counts the NumPy payload carried by the buckets —
+    the bytes that travel out-of-band (raw ``PickleBuffer``\\ s, not
+    in-band pickle bytes) when the shuffle is shipped to a process-mode
+    worker.
+    """
 
     shuffle_id: int
     map_id: int
     records: int = 0
+    buffer_bytes: int = 0
 
 
 @dataclass
 class ShuffleFetch(EngineEvent):
-    """A reduce-side read of one shuffle partition."""
+    """A reduce-side read of one shuffle partition.
+
+    ``buffer_bytes`` mirrors :class:`ShuffleWrite`: the out-of-band
+    NumPy payload of the fetched records.
+    """
 
     shuffle_id: int
     reduce_id: int
+    buffer_bytes: int = 0
 
 
 @dataclass

@@ -110,9 +110,10 @@ class StatCounter:
 class TaskContext:
     """Per-task handle: which partition is running, plus the runtime env.
 
-    ``env`` provides ``fetcher`` (shuffle reads) and ``blockstore``
-    (cache; ``None`` in process mode where workers cannot reach the
-    driver's store).
+    ``env`` provides ``fetcher`` (shuffle reads), ``blockstore`` (the
+    driver store in serial/threads mode, the forked worker's resident
+    store in process mode), cache generations, and any driver-held
+    source partitions the scheduler shipped with the task.
     """
 
     __slots__ = ("env", "stage_id", "partition")
@@ -160,23 +161,42 @@ class RDD(Generic[T]):
     # ------------------------------------------------------------------
     def iterator(self, split: int, tc: TaskContext) -> Iterable[T]:
         """Cache-aware access to partition *split*."""
-        if self._cached and tc.env.blockstore is not None:
+        store = tc.env.blockstore
+        if self._cached and store is not None:
             key = (self.id, split)
-            block = tc.env.blockstore.get(key)
+            gen = tc.env.generation_of(self.id)
+            block = store.get(key, gen)
             if block is None:
                 block = list(self.compute(split, tc))
-                tc.env.blockstore.put(key, block)
+                store.put(key, block, gen)
             return block
         return self.compute(split, tc)
+
+    def narrow_lineage(self, split: int) -> Iterator[Tuple["RDD", int]]:
+        """Every (rdd, split) pair reachable from *split* without a shuffle.
+
+        Yields ``(self, split)`` first, then walks narrow dependencies,
+        deduplicating by ``(rdd.id, split)`` — diamonds (an RDD consumed
+        by two branches of the same lineage) are visited once.  This is
+        the walk the scheduler uses to assemble process-mode payloads:
+        shuffle blocks, cache generations, and driver-held source
+        partitions all live on nodes of this lineage.
+        """
+        seen = set()
+        stack: List[Tuple[RDD, int]] = [(self, split)]
+        while stack:
+            rdd, sp = stack.pop()
+            if (rdd.id, sp) in seen:
+                continue
+            seen.add((rdd.id, sp))
+            yield rdd, sp
+            stack.extend(rdd.narrow_parent_splits(sp))
 
     def shuffle_reads(self, split: int) -> List[Tuple[int, int]]:
         """All (shuffle_id, reduce_id) pairs computing *split* will fetch."""
         reads: List[Tuple[int, int]] = []
-        stack: List[Tuple[RDD, int]] = [(self, split)]
-        while stack:
-            rdd, sp = stack.pop()
+        for rdd, sp in self.narrow_lineage(split):
             reads.extend(rdd._direct_shuffle_reads(sp))
-            stack.extend(rdd.narrow_parent_splits(sp))
         return reads
 
     def _direct_shuffle_reads(self, split: int) -> List[Tuple[int, int]]:
@@ -185,6 +205,17 @@ class RDD(Generic[T]):
             for dep in self.dependencies
             if isinstance(dep, ShuffleDependency)
         ]
+
+    def source_records(self, split: int) -> Optional[List[T]]:
+        """Driver-held records of partition *split*, if this is a source RDD.
+
+        Source RDDs holding real data (parallelized collections,
+        checkpoints) return the partition's record list so the scheduler
+        can ship *only that partition* with a process-mode task instead
+        of pickling the whole dataset into every closure.  Recipe-only
+        RDDs return ``None``.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # caching
@@ -212,6 +243,9 @@ class RDD(Generic[T]):
     def unpersist(self) -> "RDD[T]":
         self._cached = False
         self.ctx.block_store.drop_rdd(self.id)
+        # Worker-resident stores can't be reached from here; bumping the
+        # cache generation makes their entries stale on next access.
+        self.ctx.bump_cache_generation(self.id)
         return self
 
     # ------------------------------------------------------------------
@@ -769,7 +803,14 @@ def _consume(it: Iterable, f: Callable) -> None:
 # concrete source / narrow RDDs
 # ----------------------------------------------------------------------
 class ParallelCollectionRDD(RDD[T]):
-    """Driver-local sequence sliced into roughly equal partitions."""
+    """Driver-local sequence sliced into roughly equal partitions.
+
+    Pickling drops the data (``_slices`` becomes ``None``): a task
+    closure must not drag the entire collection across the process
+    boundary for every partition.  The scheduler ships the one needed
+    partition in the task's source payload instead, and ``compute``
+    falls back to it when the slices are absent.
+    """
 
     def __init__(self, ctx, data: Sequence[T], num_partitions: int) -> None:
         data = list(data)
@@ -778,18 +819,46 @@ class ParallelCollectionRDD(RDD[T]):
         bounds = [round(i * len(data) / n_parts) for i in range(n_parts + 1)]
         self._slices = [data[bounds[i] : bounds[i + 1]] for i in range(n_parts)]
 
+    def source_records(self, split: int) -> Optional[List[T]]:
+        if self._slices is None:  # pragma: no cover - driver always holds data
+            return None
+        return self._slices[split]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_slices"] = None
+        return state
+
     def compute(self, split: int, tc: TaskContext) -> Iterable[T]:
+        if self._slices is None:
+            return iter(tc.env.source_records(self.id, split))
         return iter(self._slices[split])
 
 
 class _CheckpointedRDD(RDD[T]):
-    """Materialized partitions with no lineage (see ``RDD.checkpoint``)."""
+    """Materialized partitions with no lineage (see ``RDD.checkpoint``).
+
+    Ships like :class:`ParallelCollectionRDD`: data stays at the driver,
+    tasks receive only their own partition.
+    """
 
     def __init__(self, ctx, partitions: List[List[T]]) -> None:
         super().__init__(ctx, [], max(1, len(partitions)))
         self._partitions = partitions if partitions else [[]]
 
+    def source_records(self, split: int) -> Optional[List[T]]:
+        if self._partitions is None:  # pragma: no cover - driver always holds data
+            return None
+        return self._partitions[split]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_partitions"] = None
+        return state
+
     def compute(self, split: int, tc: TaskContext) -> Iterable[T]:
+        if self._partitions is None:
+            return iter(tc.env.source_records(self.id, split))
         return iter(self._partitions[split])
 
 

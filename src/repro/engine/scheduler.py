@@ -144,15 +144,38 @@ class Scheduler:
         return order
 
     def _attach_payloads(self, tasks: List[Task], rdd: RDD, parts: List[int]) -> None:
-        """Process mode: copy required shuffle buckets into each task."""
-        if self._ctx.config.mode != "processes":
+        """Process mode: assemble each task's self-contained data plane.
+
+        One walk of the task partition's narrow lineage collects
+        everything the worker cannot reach from its own process:
+
+        * shuffle buckets the task will fetch,
+        * cache generations of every cached RDD (so the worker-resident
+          store can serve entries across jobs yet drop stale ones),
+        * the task's own partitions of driver-held source RDDs (whose
+          pickles deliberately ship without data).
+        """
+        ctx = self._ctx
+        if ctx.config.mode != "processes":
             return
-        mgr = self._ctx.shuffle_manager
+        mgr = ctx.shuffle_manager
+        worker_cache_bytes = ctx.config.worker_cache_capacity_bytes
         for task, p in zip(tasks, parts):
-            payload: Dict[Tuple[int, int], list] = {}
-            for sid, rid in rdd.shuffle_reads(p):
-                payload[(sid, rid)] = mgr.gather_payload(sid, rid)
-            task.shuffle_payload = payload
+            shuffle: Dict[Tuple[int, int], list] = {}
+            gens: Dict[int, int] = {}
+            sources: Dict[Tuple[int, int], list] = {}
+            for node, sp in rdd.narrow_lineage(p):
+                for sid, rid in node._direct_shuffle_reads(sp):
+                    shuffle[(sid, rid)] = mgr.gather_payload(sid, rid)
+                if node._cached:
+                    gens[node.id] = ctx.cache_generation(node.id)
+                src = node.source_records(sp)
+                if src is not None:
+                    sources[(node.id, sp)] = src
+            task.shuffle_payload = shuffle
+            task.cache_generations = gens
+            task.source_payload = sources
+            task.worker_cache_bytes = worker_cache_bytes
 
     def _run_map_stage(self, stage: Stage, job: JobMetrics) -> None:
         ctx = self._ctx

@@ -15,9 +15,12 @@ Two fetchers exist because of the execution modes:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.engine.errors import ShuffleFetchError
 from repro.engine.listener import EventBus, ShuffleFetch, ShuffleWrite
@@ -30,7 +33,41 @@ __all__ = [
     "ShuffleFetcher",
     "LocalShuffleFetcher",
     "PayloadShuffleFetcher",
+    "stable_hash",
 ]
+
+
+def _blake_int(data: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def stable_hash(key: Hashable) -> int:
+    """A ``hash()`` replacement that is stable across interpreter runs.
+
+    Builtin ``hash`` salts ``str``/``bytes`` with ``PYTHONHASHSEED``, so
+    two runs of the same program can route the same key to different
+    shuffle partitions — fine for a single job, fatal for comparing runs
+    or resuming from persisted shuffle output.  This function hashes text
+    and byte keys with blake2b and recurses into containers; numbers (and
+    everything else) keep builtin ``hash`` because numeric hashing is
+    unsalted and must stay consistent with ``==`` across types
+    (``hash(2) == hash(2.0)`` keeps ``2`` and ``2.0`` co-partitioned).
+    """
+    if isinstance(key, str):
+        return _blake_int(key.encode("utf-8"))
+    if isinstance(key, (bytes, bytearray)):
+        return _blake_int(bytes(key))
+    if isinstance(key, tuple):
+        mask = (1 << 64) - 1
+        acc = b"".join((stable_hash(el) & mask).to_bytes(8, "big") for el in key)
+        return _blake_int(acc)
+    if isinstance(key, frozenset):
+        # Order-independent: XOR the element hashes.
+        acc = 0
+        for el in key:
+            acc ^= stable_hash(el) & ((1 << 64) - 1)
+        return acc
+    return hash(key)
 
 
 class Partitioner:
@@ -52,10 +89,15 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """``hash(key) mod p`` — the default for key-value shuffles."""
+    """``stable_hash(key) mod p`` — the default for key-value shuffles.
+
+    Uses :func:`stable_hash` rather than builtin ``hash`` so partition
+    assignments are identical across interpreter runs regardless of
+    ``PYTHONHASHSEED``.
+    """
 
     def partition(self, key: Hashable) -> int:
-        return hash(key) % self.num_partitions
+        return stable_hash(key) % self.num_partitions
 
 
 class RangePartitioner(Partitioner):
@@ -93,6 +135,23 @@ class RangePartitioner(Partitioner):
 Bucket = List[Tuple[Hashable, Any]]
 
 
+def _bucket_buffer_bytes(buckets: Iterable[Bucket]) -> int:
+    """NumPy bytes inside shuffle records — what rides out-of-band.
+
+    Values that are arrays (or tuples containing arrays, the lattice
+    block idiom) transfer as raw protocol-5 buffers in process mode;
+    this sum feeds the ``buffer_bytes`` field of shuffle events.
+    """
+    total = 0
+    for bucket in buckets:
+        for _k, v in bucket:
+            if isinstance(v, np.ndarray):
+                total += v.nbytes
+            elif isinstance(v, tuple):
+                total += sum(x.nbytes for x in v if isinstance(x, np.ndarray))
+    return total
+
+
 class ShuffleManager:
     """Driver-resident store of map-output buckets.
 
@@ -123,7 +182,12 @@ class ShuffleManager:
         bus = self._bus
         if bus:
             bus.post(
-                ShuffleWrite(shuffle_id, map_id, sum(len(b) for b in buckets))
+                ShuffleWrite(
+                    shuffle_id,
+                    map_id,
+                    sum(len(b) for b in buckets),
+                    buffer_bytes=_bucket_buffer_bytes(buckets),
+                )
             )
 
     def is_materialized(self, shuffle_id: int) -> bool:
@@ -141,7 +205,11 @@ class ShuffleManager:
             buckets = [maps[m][reduce_id] for m in sorted(maps)]
         bus = self._bus
         if bus:
-            bus.post(ShuffleFetch(shuffle_id, reduce_id))
+            bus.post(
+                ShuffleFetch(
+                    shuffle_id, reduce_id, buffer_bytes=_bucket_buffer_bytes(buckets)
+                )
+            )
         return itertools.chain.from_iterable(buckets)
 
     def gather_payload(self, shuffle_id: int, reduce_id: int) -> Bucket:

@@ -8,6 +8,15 @@ keeps the distributed and serial code paths numerically identical.
 Block kernels return *partial* statistics (unnormalised log masses,
 weighted marginal sums) that compose associatively, which is what lets
 SBGT compute them with ``tree_aggregate`` instead of collecting states.
+
+Kernels that need *normalised* probabilities accept a ``log_offset``:
+the deferred-normalisation scalar :class:`~repro.sbgt.distributed_lattice.
+DistributedLattice` maintains instead of rescaling every block after each
+update.  A stored log-prob ``s`` denotes true log-probability
+``s - log_offset``; passing the offset into the kernel folds the rescale
+into the existing exponentiation, so no extra pass over the data ever
+happens.  The default ``0.0`` preserves the original semantics (stored
+values are the true log-probs) and skips the subtraction entirely.
 """
 
 from __future__ import annotations
@@ -92,11 +101,11 @@ def merge_blocks(blocks: Sequence[LatticeBlock]) -> StateSpace:
 # ----------------------------------------------------------------------
 # associative block kernels (partial statistics)
 # ----------------------------------------------------------------------
-def block_log_mass(block: LatticeBlock) -> float:
-    """log Σ exp(log_probs) of the block (−inf for an empty block)."""
+def block_log_mass(block: LatticeBlock, log_offset: float = 0.0) -> float:
+    """log Σ exp(log_probs − log_offset) of the block (−inf when empty)."""
     if block.size == 0:
         return -np.inf
-    return float(logsumexp(block.log_probs))
+    return float(logsumexp(block.log_probs)) - log_offset
 
 
 def block_update(block: LatticeBlock, pool_mask: int, log_lik_by_count: np.ndarray) -> LatticeBlock:
@@ -113,17 +122,26 @@ def block_scale(block: LatticeBlock, log_shift: float) -> LatticeBlock:
     return block
 
 
-def block_marginal_partial(block: LatticeBlock) -> np.ndarray:
-    """Unnormalised per-individual positive mass within the block."""
-    p = np.exp(block.log_probs)
+def _block_probs(block: LatticeBlock, log_offset: float) -> np.ndarray:
+    """Linear probabilities of a block under a deferred normalisation."""
+    if log_offset == 0.0:
+        return np.exp(block.log_probs)
+    return np.exp(block.log_probs - log_offset)
+
+
+def block_marginal_partial(block: LatticeBlock, log_offset: float = 0.0) -> np.ndarray:
+    """Per-individual positive mass within the block."""
+    p = _block_probs(block, log_offset)
     out = np.empty(block.n_items, dtype=np.float64)
     for i in range(block.n_items):
         out[i] = p[bit_column(block.masks, i)].sum()
     return out
 
 
-def block_down_set_partial(block: LatticeBlock, pool_masks: np.ndarray) -> np.ndarray:
-    """Unnormalised down-set mass of each candidate pool within the block.
+def block_down_set_partial(
+    block: LatticeBlock, pool_masks: np.ndarray, log_offset: float = 0.0
+) -> np.ndarray:
+    """Down-set mass of each candidate pool within the block.
 
     The inner loop of distributed test selection.  Iterates candidates
     and masks/sums per row rather than building the full
@@ -131,7 +149,7 @@ def block_down_set_partial(block: LatticeBlock, pool_masks: np.ndarray) -> np.nd
     forces a float64 materialisation of the whole matrix, measured ~6×
     slower at 2^20 states.
     """
-    p = np.exp(block.log_probs)
+    p = _block_probs(block, log_offset)
     pools = np.asarray(pool_masks, dtype=np.uint64)
     out = np.empty(pools.size, dtype=np.float64)
     zero = np.uint64(0)
@@ -140,35 +158,42 @@ def block_down_set_partial(block: LatticeBlock, pool_masks: np.ndarray) -> np.nd
     return out
 
 
-def block_count_distribution_partial(block: LatticeBlock, pool_mask: int, pool_size: int) -> np.ndarray:
-    """Unnormalised P(k positives in pool) histogram for the block."""
+def block_count_distribution_partial(
+    block: LatticeBlock, pool_mask: int, pool_size: int, log_offset: float = 0.0
+) -> np.ndarray:
+    """P(k positives in pool) histogram for the block."""
     counts = intersect_count(block.masks, pool_mask)
-    p = np.exp(block.log_probs)
+    p = _block_probs(block, log_offset)
     return np.bincount(counts, weights=p, minlength=pool_size + 1)
 
 
-def block_entropy_partial(block: LatticeBlock) -> float:
-    """−Σ p log p over the block (valid when blocks are globally normalised)."""
+def block_entropy_partial(block: LatticeBlock, log_offset: float = 0.0) -> float:
+    """−Σ p log p over the block, in the offset-normalised measure."""
     if block.size == 0:
         return 0.0
-    p = np.exp(block.log_probs)
+    p = _block_probs(block, log_offset)
     nz = p > 0.0
-    return float(-np.sum(p[nz] * block.log_probs[nz]))
+    if log_offset == 0.0:
+        return float(-np.sum(p[nz] * block.log_probs[nz]))
+    return float(-np.sum(p[nz] * (block.log_probs[nz] - log_offset)))
 
 
 def block_histogram_partial(
-    block: LatticeBlock, edges: np.ndarray
+    block: LatticeBlock, edges: np.ndarray, log_offset: float = 0.0
 ) -> np.ndarray:
     """Linear-mass histogram of the block's log-probs over fixed bin edges.
 
     Used by distributed pruning to locate a log-prob cutoff without
     sorting the global state set.  Values outside the edges clamp into
-    the end bins.
+    the end bins.  ``edges`` stay in *stored* log-prob space; only the
+    masses are offset-normalised.
     """
     if block.size == 0:
         return np.zeros(len(edges) - 1, dtype=np.float64)
     idx = np.clip(np.searchsorted(edges, block.log_probs, side="right") - 1, 0, len(edges) - 2)
-    return np.bincount(idx, weights=np.exp(block.log_probs), minlength=len(edges) - 1)
+    return np.bincount(
+        idx, weights=_block_probs(block, log_offset), minlength=len(edges) - 1
+    )
 
 
 def block_top_states(block: LatticeBlock, k: int) -> List[Tuple[int, float]]:
@@ -195,8 +220,8 @@ def block_project_out_bit(block: LatticeBlock, bit: int, keep_positive: bool) ->
     """Condition on a settled individual and squeeze their bit out.
 
     Block-local half of :func:`repro.lattice.ops.project_out_bit`;
-    renormalisation stays global (the usual two-pass).  May return an
-    empty block.
+    renormalisation stays global (absorbed into the caller's deferred
+    ``log_offset``).  May return an empty block.
     """
     bit_u = np.uint64(bit)
     one = np.uint64(1)

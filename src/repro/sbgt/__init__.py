@@ -3,9 +3,9 @@
 The lattice state space becomes an RDD of NumPy blocks; the three
 operation classes the paper accelerates map onto engine primitives:
 
-* lattice manipulation — distributed prior construction, Bayes updates
-  with two-pass normalisation, conditioning, histogram-guided pruning
-  (:class:`DistributedLattice`);
+* lattice manipulation — distributed prior construction, single-pass
+  Bayes updates with deferred normalisation, conditioning,
+  histogram-guided pruning (:class:`DistributedLattice`);
 * test selection — broadcast candidate pools, per-partition down-set
   partials, tree-reduced arg-min (:mod:`repro.sbgt.selector`);
 * statistical analysis — marginals, entropy, top states and

@@ -2,17 +2,25 @@
 
 Invariants maintained by every public method:
 
-* blocks are **globally normalised** (their log-probs jointly sum, in
-  linear space, to one) — block kernels can therefore exponentiate
-  safely and partial statistics add up to calibrated quantities;
+* blocks are **normalised up to a driver-held scalar**: stored log-probs
+  jointly sum (in linear space) to ``exp(log_offset)``, so the true
+  log-probability of a state is ``stored − log_offset``.  Block kernels
+  take the offset as a parameter and fold the rescale into their
+  existing exponentiation — calibrated statistics without a rescale
+  pass;
 * the RDD is **cached and already materialised** — callers never pay a
   rebuild of lineage twice;
 * blocks are **immutable once cached** — update paths copy before
   mutating, exactly Spark's contract.
 
-Updates cost two passes (apply likelihood, then rescale by the global
-log-mass found by a tree aggregation).  The intermediate mass *is* the
-predictive probability of the outcome, so evidence tracking is free.
+Deferred normalisation makes :meth:`DistributedLattice.update` a single
+full-lattice pass: apply the likelihood while caching, tree-aggregate
+the new stored mass (which materialises the cache), and fold the
+normalisation into ``log_offset`` as an O(1) driver-side bookkeeping
+step.  The mass delta *is* the predictive probability of the outcome, so
+evidence tracking stays free.  The offset is absorbed back into the data
+only at checkpoint/rebalance boundaries (and ``collect``), where a full
+materialisation happens anyway.
 """
 
 from __future__ import annotations
@@ -36,7 +44,6 @@ from repro.lattice.partition import (
     block_log_mass,
     block_marginal_partial,
     block_project_out_bit,
-    block_scale,
     block_top_states,
     block_update,
     merge_blocks,
@@ -45,6 +52,7 @@ from repro.lattice.partition import (
 from repro.lattice.states import StateSpace
 from repro.obs.tracer import PHASE_ANALYSIS, PHASE_LATTICE, PHASE_SELECTION, traced
 from repro.util.bits import popcount64
+from repro.util.numerics import log1mexp
 
 __all__ = ["DistributedLattice", "PruneStats"]
 
@@ -72,11 +80,11 @@ class DistributedLattice:
     """A normalised lattice model partitioned across the engine."""
 
     #: Updates between automatic lineage checkpoints.  Each Bayes update
-    #: appends two map nodes to the lineage; without truncation a long
-    #: screen would recompute ever-deeper chains on cache misses (and in
-    #: process mode, where workers cannot reach the driver cache, every
-    #: job).  Checkpointing collects and re-parallelizes the blocks —
-    #: the engine analogue of ``RDD.checkpoint()``.
+    #: appends one map node to the lineage; without truncation a long
+    #: screen would recompute ever-deeper chains on cache misses.
+    #: Checkpointing collects and re-parallelizes the blocks — the engine
+    #: analogue of ``RDD.checkpoint()`` — and absorbs the normalisation
+    #: offset back into the stored log-probs while it is at it.
     checkpoint_interval: int = 16
 
     def __init__(self, ctx: Context, rdd: RDD, n_items: int) -> None:
@@ -84,6 +92,13 @@ class DistributedLattice:
         self.rdd = rdd
         self.n_items = int(n_items)
         self._updates_since_checkpoint = 0
+        # Deferred-normalisation scalar: true log-prob = stored − offset.
+        self._log_offset = 0.0
+
+    @property
+    def log_offset(self) -> float:
+        """Current deferred-normalisation scalar (0.0 right after a rebalance)."""
+        return self._log_offset
 
     # ------------------------------------------------------------------
     # construction (operation class R1: lattice manipulation)
@@ -116,8 +131,9 @@ class DistributedLattice:
 
         rdd = ctx.parallelize(ranges, len(ranges)).map(build).cache()
         lattice = cls(ctx, rdd, n)
-        # The dense product prior is normalised analytically; one rescale
-        # pass absorbs float drift and materialises the cache.
+        # The dense product prior is normalised analytically; the
+        # renormalise absorbs float drift into the offset and its mass
+        # aggregation materialises the cache.
         lattice._renormalize()
         return lattice
 
@@ -149,7 +165,7 @@ class DistributedLattice:
         rdd = ctx.parallelize(slices, nb).map(build).cache()
         lattice = cls(ctx, rdd, n)
         log_kept = lattice._renormalize()
-        log_discarded = float(np.log1p(-np.exp(min(log_kept, -1e-300)))) if log_kept < 0 else -np.inf
+        log_discarded = log1mexp(log_kept) if log_kept < 0 else -np.inf
         return lattice, log_discarded
 
     @classmethod
@@ -174,6 +190,11 @@ class DistributedLattice:
         return self.rdd.num_partitions
 
     def _log_mass(self, rdd: Optional[RDD] = None) -> float:
+        """Total *stored-space* log-mass (one tree aggregation).
+
+        The aggregation walks every block, so running it on a freshly
+        cached RDD doubles as the materialisation step.
+        """
         target = rdd if rdd is not None else self.rdd
         return target.tree_aggregate(
             -np.inf,
@@ -187,15 +208,23 @@ class DistributedLattice:
         old.unpersist()
 
     def _renormalize(self) -> float:
-        """Rescale blocks so total linear mass is one; returns old log-mass."""
+        """Restore the normalisation invariant; returns the old log-mass.
+
+        With deferred normalisation this is an O(1) driver-side offset
+        update: the stored log-probs are untouched and the new offset is
+        simply the aggregated stored mass.  (The aggregation also
+        materialises the cache of a freshly replaced RDD.)  The returned
+        value is the lattice's log-mass *relative to the previous
+        normalisation* — exactly what the two-pass rescale used to
+        return: kept mass after a restriction, survived mass after a
+        prune.
+        """
         log_mass = self._log_mass()
         if not np.isfinite(log_mass):
             raise ValueError("lattice has zero total mass (contradictory evidence?)")
-        if abs(log_mass) > 1e-12:
-            scaled = self.rdd.map(lambda b: block_scale(b.copy(), log_mass)).cache()
-            scaled.count()  # materialise before dropping the parent
-            self._replace_rdd(scaled)
-        return float(log_mass)
+        old = log_mass - self._log_offset
+        self._log_offset = float(log_mass)
+        return float(old)
 
     # ------------------------------------------------------------------
     # lattice manipulation (R1)
@@ -204,10 +233,12 @@ class DistributedLattice:
     def update(self, pool_mask: int, log_lik_by_count: np.ndarray) -> float:
         """Bayes-update on a pooled outcome; returns log-predictive.
 
-        Pass 1 applies the per-count log-likelihood to every block; the
-        resulting (cached) unnormalised mass equals the predictive
-        probability of the outcome because the lattice was normalised
-        beforehand.  Pass 2 rescales to restore the invariant.
+        One full-lattice pass: the per-count log-likelihood is applied
+        while the result is cached, and the same tree aggregation that
+        materialises the cache yields the new stored mass.  The change
+        in stored mass is the predictive log-probability of the outcome,
+        and the normalisation folds into :attr:`log_offset` — no rescale
+        pass over the blocks.
         """
         pool_mask = int(pool_mask)
         ll_bc = self.ctx.broadcast(np.asarray(log_lik_by_count, dtype=np.float64))
@@ -216,14 +247,13 @@ class DistributedLattice:
             return block_update(b.copy(), pool_mask, ll_bc.value)
 
         updated = self.rdd.map(apply).cache()
-        log_pred = self._log_mass(updated)
-        if not np.isfinite(log_pred):
+        new_mass = self._log_mass(updated)
+        if not np.isfinite(new_mass):
             updated.unpersist()
             raise ValueError("observed outcome has zero probability under the model")
-        scaled = updated.map(lambda b: block_scale(b.copy(), log_pred)).cache()
-        scaled.count()
-        updated.unpersist()
-        self._replace_rdd(scaled)
+        log_pred = new_mass - self._log_offset
+        self._replace_rdd(updated)
+        self._log_offset = float(new_mass)
         self._updates_since_checkpoint += 1
         if self._updates_since_checkpoint >= self.checkpoint_interval:
             self.rebalance(self.num_blocks)
@@ -264,10 +294,13 @@ class DistributedLattice:
         )
         if not np.isfinite(lo) or not np.isfinite(hi) or lo == hi:
             return PruneStats(self.num_states(), 0, 0.0)
+        # Edges live in stored log-prob space; the offset normalises the
+        # *masses* so the tail comparison against 1-ε stays calibrated.
         edges = np.linspace(lo, np.nextafter(hi, np.inf), bins + 1)
+        off = self._log_offset
         hist = self.rdd.tree_aggregate(
             np.zeros(bins),
-            lambda acc, b: acc + block_histogram_partial(b, edges),
+            lambda acc, b: acc + block_histogram_partial(b, edges, off),
             lambda a, b: a + b,
         )
         # Upper-tail cumulative mass; keep every bin needed for 1-ε.
@@ -319,14 +352,18 @@ class DistributedLattice:
 
         Doubles as the checkpoint operation: the new RDD is a source
         collection, so recomputation never reaches past this point.
+        :meth:`collect` absorbs the normalisation offset into the stored
+        log-probs, so the rebuilt blocks carry true log-probabilities
+        and the offset resets to zero.
         """
-        space = self.collect()
+        space = self.collect()  # offset absorbed here
         nb = num_blocks or self.ctx.default_parallelism
         block_size = max(1, -(-space.size // nb))
         blocks = partition_state_space(space, block_size)
         rdd = self.ctx.parallelize(blocks, len(blocks)).cache()
         rdd.count()
         self._replace_rdd(rdd)
+        self._log_offset = 0.0
         self._updates_since_checkpoint = 0
 
     # ------------------------------------------------------------------
@@ -337,9 +374,10 @@ class DistributedLattice:
         """Normalised down-set mass per candidate pool (one aggregation)."""
         pools = np.asarray(pool_masks, dtype=np.uint64)
         pools_bc = self.ctx.broadcast(pools)
+        off = self._log_offset
         return self.rdd.tree_aggregate(
             np.zeros(pools.size),
-            lambda acc, b: acc + block_down_set_partial(b, pools_bc.value),
+            lambda acc, b: acc + block_down_set_partial(b, pools_bc.value, off),
             lambda a, b: a + b,
         )
 
@@ -348,9 +386,10 @@ class DistributedLattice:
         """P(k positives in pool) for k = 0..|pool| (one aggregation)."""
         pool_mask = int(pool_mask)
         pool_size = int(popcount64(np.asarray([pool_mask], dtype=np.uint64))[0])
+        off = self._log_offset
         return self.rdd.tree_aggregate(
             np.zeros(pool_size + 1),
-            lambda acc, b: acc + block_count_distribution_partial(b, pool_mask, pool_size),
+            lambda acc, b: acc + block_count_distribution_partial(b, pool_mask, pool_size, off),
             lambda a, b: a + b,
         )
 
@@ -360,18 +399,20 @@ class DistributedLattice:
     @traced(PHASE_ANALYSIS, "marginals")
     def marginals(self) -> np.ndarray:
         """Per-individual posterior infection probabilities."""
+        off = self._log_offset
         return self.rdd.tree_aggregate(
             np.zeros(self.n_items),
-            lambda acc, b: acc + block_marginal_partial(b),
+            lambda acc, b: acc + block_marginal_partial(b, off),
             lambda a, b: a + b,
         )
 
     @traced(PHASE_ANALYSIS, "entropy")
     def entropy(self) -> float:
         """Shannon entropy of the posterior (nats)."""
+        off = self._log_offset
         return self.rdd.tree_aggregate(
             0.0,
-            lambda acc, b: acc + block_entropy_partial(b),
+            lambda acc, b: acc + block_entropy_partial(b, off),
             lambda a, b: a + b,
         )
 
@@ -385,7 +426,8 @@ class DistributedLattice:
             lambda acc, b: heapq.nlargest(k, acc + block_top_states(b, k), key=lambda t: t[1]),
             lambda a, b: heapq.nlargest(k, a + b, key=lambda t: t[1]),
         )
-        return [(mask, float(np.exp(lp))) for mask, lp in partials]
+        off = self._log_offset
+        return [(mask, float(np.exp(lp - off))) for mask, lp in partials]
 
     def map_state(self) -> int:
         top = self.top_states(1)
@@ -397,9 +439,19 @@ class DistributedLattice:
         return self.rdd.map(lambda b: b.size).sum()
 
     def collect(self) -> StateSpace:
-        """Materialise the full lattice at the driver (tests / rebalance)."""
+        """Materialise the full lattice at the driver (tests / rebalance).
+
+        Absorbs the normalisation offset: the returned space carries
+        true log-probabilities regardless of the lattice's current
+        ``log_offset``.
+        """
         blocks = [b for b in self.rdd.collect() if b.size > 0]
-        return merge_blocks(blocks)
+        space = merge_blocks(blocks)
+        if self._log_offset != 0.0:
+            space = StateSpace(
+                space.n_items, space.masks, space.log_probs - self._log_offset
+            )
+        return space
 
     def unpersist(self) -> None:
         self.rdd.unpersist()

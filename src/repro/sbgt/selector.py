@@ -63,6 +63,7 @@ def _block_refined_cell_masses(
     chosen: Tuple[int, ...],
     candidates: np.ndarray,
     n_cells: int,
+    log_offset: float = 0.0,
 ) -> np.ndarray:
     """Per-candidate refined-cell masses for one block.
 
@@ -70,10 +71,11 @@ def _block_refined_cell_masses(
     mass of every cell of the partition induced by ``chosen + [cand_c]``.
     The chosen-pool cell index is recomputed per block (cheap: the batch
     is at most a handful of pools) so no per-state state needs shuffling.
+    ``log_offset`` is the lattice's deferred-normalisation scalar.
     """
     if block.size == 0:
         return np.zeros((candidates.size, n_cells))
-    p = np.exp(block.log_probs)
+    p = np.exp(block.log_probs - log_offset) if log_offset else np.exp(block.log_probs)
     cell_idx = np.zeros(block.size, dtype=np.int64)
     for j, pool in enumerate(chosen):
         dirty = (block.masks & np.uint64(pool)) != np.uint64(0)
@@ -88,18 +90,19 @@ def _block_refined_cell_masses(
 
 
 def _block_count_hists(
-    block: LatticeBlock, candidates: np.ndarray, max_size: int
+    block: LatticeBlock, candidates: np.ndarray, max_size: int, log_offset: float = 0.0
 ) -> np.ndarray:
     """Per-candidate histograms of positives-in-pool for one block.
 
     Row ``c`` holds the linear mass of states placing ``k`` positives in
     candidate pool ``c`` (k = 0..max_size; columns beyond a pool's size
-    stay zero).
+    stay zero).  ``log_offset`` is the lattice's deferred-normalisation
+    scalar.
     """
     out = np.zeros((candidates.size, max_size + 1))
     if block.size == 0:
         return out
-    p = np.exp(block.log_probs)
+    p = np.exp(block.log_probs - log_offset) if log_offset else np.exp(block.log_probs)
     from repro.util.bits import intersect_count
 
     for c, cand in enumerate(candidates):
@@ -133,9 +136,10 @@ def select_infogain_pool_distributed(
     sizes = popcount64(candidates)
     max_size = int(sizes.max())
     cand_bc = lattice.ctx.broadcast(candidates)
+    off = lattice.log_offset
     hists = lattice.rdd.tree_aggregate(
         np.zeros((candidates.size, max_size + 1)),
-        lambda acc, b: acc + _block_count_hists(b, cand_bc.value, max_size),
+        lambda acc, b: acc + _block_count_hists(b, cand_bc.value, max_size, off),
         lambda a, b: a + b,
     )
     best_pool, best_info = None, -np.inf
@@ -180,11 +184,12 @@ def select_lookahead_pools_distributed(
         n_cells = 1 << (j + 1)
         chosen_t = tuple(chosen)
         cand_bc = lattice.ctx.broadcast(candidates)
+        off = lattice.log_offset
 
         masses = lattice.rdd.tree_aggregate(
             np.zeros((candidates.size, n_cells)),
             lambda acc, b: acc
-            + _block_refined_cell_masses(b, chosen_t, cand_bc.value, n_cells),
+            + _block_refined_cell_masses(b, chosen_t, cand_bc.value, n_cells, off),
             lambda a, b: a + b,
         )
         best = None

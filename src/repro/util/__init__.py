@@ -11,6 +11,7 @@ from repro.util.bits import (
     intersect_count,
     is_subset,
 )
+from repro.util.numerics import log1mexp
 from repro.util.rng import as_rng, spawn_rngs
 from repro.util.timer import Timer, WallClock
 from repro.util.validation import (
@@ -26,6 +27,7 @@ __all__ = [
     "popcount64",
     "intersect_count",
     "is_subset",
+    "log1mexp",
     "as_rng",
     "spawn_rngs",
     "Timer",

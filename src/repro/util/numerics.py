@@ -1,0 +1,41 @@
+"""Numerically stable log-space helpers.
+
+The group-testing code spends its life in log space; the classic trap is
+``log(1 - exp(x))`` for ``x`` near 0 or very negative.  ``log1mexp``
+implements the standard two-branch formulation (Mächler 2012): for
+``x > -ln 2`` use ``log(-expm1(x))`` (``1 - e^x`` loses precision but
+``expm1`` does not), otherwise ``log1p(-exp(x))`` (``e^x`` is tiny, so
+``log1p`` keeps the leading digits).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["log1mexp"]
+
+_LOG_HALF = float(np.log(0.5))  # -ln 2, the branch point
+
+
+def log1mexp(x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Stable ``log(1 - exp(x))`` for ``x <= 0``.
+
+    Returns ``-inf`` at ``x == 0`` (and for tiny positive drift, which a
+    renormalisation residual can legitimately produce); raises for
+    genuinely positive ``x`` where ``1 - e^x`` is negative.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if np.any(arr > 1e-9):
+        raise ValueError("log1mexp requires x <= 0 (1 - exp(x) must be non-negative)")
+    arr = np.minimum(arr, 0.0)
+    with np.errstate(divide="ignore"):  # log(0) -> -inf is the wanted answer
+        out = np.where(
+            arr > _LOG_HALF,
+            np.log(-np.expm1(arr)),
+            np.log1p(-np.exp(arr)),
+        )
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return float(out)
+    return out

@@ -1,0 +1,64 @@
+"""Zero-copy (out-of-band) pickling of NumPy payloads.
+
+``serialize_oob`` must ship large arrays as pickle-5 out-of-band buffers
+— the metadata stream stays small and the buffers carry the bytes — and
+``deserialize_oob`` must hand back *writable* arrays so downstream code
+(worker caches, kernels that copy-on-write) behaves exactly as if the
+object had never crossed a process boundary.
+"""
+
+import numpy as np
+
+from repro.engine.closure import deserialize_oob, serialize_oob
+from repro.engine.executor import TaskResult
+from repro.lattice.partition import LatticeBlock
+
+
+class TestSerializeOob:
+    def test_large_array_goes_out_of_band(self):
+        arr = np.arange(1 << 16, dtype=np.float64)  # 512 KB
+        data, buffers = serialize_oob(arr)
+        assert len(buffers) >= 1
+        assert sum(len(b) for b in buffers) >= arr.nbytes
+        # The in-band stream holds metadata only, not the array body.
+        assert len(data) < arr.nbytes // 10
+
+    def test_round_trip_equality(self):
+        arr = np.linspace(0.0, 1.0, 10_000)
+        out = deserialize_oob(*serialize_oob({"x": arr, "n": 7}))
+        assert out["n"] == 7
+        np.testing.assert_array_equal(out["x"], arr)
+
+    def test_reconstructed_array_is_writable(self):
+        arr = np.zeros(4096)
+        out = deserialize_oob(*serialize_oob(arr))
+        out[0] = 1.0  # must not raise "read-only" — buffers are bytearrays
+        assert out[0] == 1.0
+
+    def test_lattice_block_round_trip(self):
+        block = LatticeBlock(
+            n_items=3,
+            masks=np.array([0, 1, 3, 7], dtype=np.uint64),
+            log_probs=np.log(np.array([0.1, 0.2, 0.3, 0.4])),
+        )
+        data, buffers = serialize_oob(block)
+        assert buffers  # both arrays shipped out-of-band
+        out = deserialize_oob(data, buffers)
+        np.testing.assert_array_equal(out.masks, block.masks)
+        np.testing.assert_allclose(out.log_probs, block.log_probs)
+
+    def test_task_result_with_cache_events(self):
+        res = TaskResult(
+            partition=3,
+            value=[np.ones(128)],
+            cache_events=[("hit", 5, 0, 0), ("evict", 5, 1, 1024)],
+        )
+        out = deserialize_oob(*serialize_oob(res))
+        assert out.partition == 3
+        assert out.cache_events == [("hit", 5, 0, 0), ("evict", 5, 1, 1024)]
+        np.testing.assert_array_equal(out.value[0], np.ones(128))
+
+    def test_small_objects_need_no_buffers(self):
+        data, buffers = serialize_oob({"a": 1, "b": "two"})
+        assert buffers == []
+        assert deserialize_oob(data, buffers) == {"a": 1, "b": "two"}

@@ -1,0 +1,78 @@
+"""Cross-run stability of shuffle partition assignment.
+
+Builtin ``hash`` salts str/bytes with ``PYTHONHASHSEED``, so a
+``HashPartitioner`` built on it routes the same key to different
+partitions on different interpreter runs.  :func:`repro.engine.shuffle.
+stable_hash` must not.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.engine.shuffle import HashPartitioner, stable_hash
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+# Executed in fresh interpreters with different hash seeds; the printed
+# partition assignment must be identical across runs.
+_PROBE = """
+import json, sys
+sys.path.insert(0, %r)
+from repro.engine.shuffle import HashPartitioner
+keys = [
+    "alpha", "beta", "gamma-with-a-longer-name", b"raw-bytes",
+    ("compound", "key"), ("nested", ("deeper", "still")),
+    frozenset({"a", "b", "c"}), 0, 7, -13, 2.5, None, True,
+]
+part = HashPartitioner(16)
+print(json.dumps([part.partition(k) for k in keys]))
+""" % (_SRC,)
+
+
+def _probe_with_seed(seed: str) -> list:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE], env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(out.stdout)
+
+
+class TestStableHash:
+    def test_partition_assignment_stable_across_hash_seeds(self):
+        a = _probe_with_seed("1")
+        b = _probe_with_seed("31337")
+        assert a == b
+
+    def test_in_process_matches_subprocess(self):
+        # The current (salted) interpreter must agree with a fresh one.
+        part = HashPartitioner(16)
+        keys = [
+            "alpha", "beta", "gamma-with-a-longer-name", b"raw-bytes",
+            ("compound", "key"), ("nested", ("deeper", "still")),
+            frozenset({"a", "b", "c"}), 0, 7, -13, 2.5, None, True,
+        ]
+        assert [part.partition(k) for k in keys] == _probe_with_seed("99")
+
+    def test_numeric_cross_type_consistency(self):
+        # 2 == 2.0 == True+1, so they must land in the same partition or
+        # grouping by key would split equal keys.
+        part = HashPartitioner(8)
+        assert part.partition(2) == part.partition(2.0)
+        assert part.partition(1) == part.partition(True)
+
+    def test_tuple_recursion_stable(self):
+        assert stable_hash(("a", ("b", 1))) == stable_hash(("a", ("b", 1)))
+        assert stable_hash(("a", "b")) != stable_hash(("b", "a"))
+
+    def test_frozenset_order_independent(self):
+        assert stable_hash(frozenset(["x", "y", "z"])) == stable_hash(
+            frozenset(["z", "x", "y"])
+        )
+
+    def test_distribution_not_degenerate(self):
+        part = HashPartitioner(8)
+        assigned = {part.partition(f"key-{i}") for i in range(200)}
+        assert len(assigned) == 8

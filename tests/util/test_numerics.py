@@ -1,0 +1,54 @@
+"""Stable log-space helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util import log1mexp
+
+
+class TestLog1mexp:
+    def test_moderate_value_matches_naive(self):
+        x = -1.0
+        assert log1mexp(x) == pytest.approx(np.log(1.0 - np.exp(-1.0)), rel=1e-14)
+
+    def test_tiny_magnitude_does_not_underflow_to_neg_inf(self):
+        # The regression this helper fixes: for |x| below float epsilon,
+        # exp(x) rounds to exactly 1.0 and log1p(-exp(x)) returns -inf,
+        # although the true value is ~log(|x|).
+        x = -1e-18
+        naive = np.log1p(-np.exp(x))
+        assert np.isneginf(naive)  # documents the failure being fixed
+        assert log1mexp(x) == pytest.approx(np.log(1e-18), rel=1e-12)
+
+    def test_large_negative_tail(self):
+        # 1 - exp(-50) ≈ 1, so log ≈ -exp(-50): a subnormal-free near-zero.
+        x = -50.0
+        assert log1mexp(x) == pytest.approx(-np.exp(-50.0), rel=1e-12)
+
+    def test_zero_gives_neg_inf(self):
+        assert np.isneginf(log1mexp(0.0))
+
+    def test_tiny_positive_drift_tolerated(self):
+        # Aggregation round-off can leave log_kept a hair above zero.
+        assert np.isneginf(log1mexp(1e-12))
+
+    def test_genuinely_positive_raises(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.5)
+
+    def test_array_input(self):
+        x = np.array([-1e-18, -0.1, -1.0, -50.0])
+        out = log1mexp(x)
+        assert isinstance(out, np.ndarray)
+        expected = [np.log(1e-18), np.log(-np.expm1(-0.1)), np.log(1 - np.exp(-1.0)), -np.exp(-50.0)]
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(log1mexp(-1.0), float)
+
+    def test_branch_point_continuous(self):
+        # The two branches must agree where they meet (x = -ln 2).
+        x = float(np.log(0.5))
+        lo = log1mexp(np.nextafter(x, -np.inf))
+        hi = log1mexp(np.nextafter(x, 0.0))
+        assert lo == pytest.approx(hi, abs=1e-12)
