@@ -328,7 +328,7 @@ def run_r5(cfg: dict, _ctx: Context) -> str:
         prior = PriorSpec.uniform(cohort_n, prev)
         neg_thr = min(0.01, prev / 10)
         row: List = [f"{prev:.1%}"]
-        for name, factory in policies.items():
+        for _name, factory in policies.items():
             rng = np.random.default_rng(31337)
             tpis, accs = [], []
             for rep in range(cfg["r5_reps"]):

@@ -8,7 +8,9 @@ Commands covering the workflows a surveillance program actually runs:
 * ``scenarios``    — list the named (prior, assay) presets;
 * ``serve``        — the asyncio JSON API server (``repro.serve``);
 * ``trace``        — summarize a JSONL trace captured with ``--trace``
-  (or :meth:`Tracer.dump_jsonl` / :meth:`MetricsRegistry.dump_jsonl`).
+  (or :meth:`Tracer.dump_jsonl` / :meth:`MetricsRegistry.dump_jsonl`);
+* ``lint``         — static closure-safety / engine-concurrency analysis
+  (:mod:`repro.lint`); exit 0 clean, 1 findings, 2 usage error.
 
 Every command is deterministic given ``--seed``.  ``screen --json`` and
 ``calculator --json`` print exactly the payload the server returns for
@@ -154,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="convert to Chrome trace-event JSON instead of summarizing")
     p_trace.add_argument("--validate", action="store_true",
                          help="with --chrome: structurally validate the exported trace")
+
+    p_lint = sub.add_parser(
+        "lint", help="static closure-safety / engine-concurrency analysis"
+    )
+    p_lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories (default: src examples benchmarks, "
+                             "whichever exist)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+                        dest="fmt", help="report format")
+    p_lint.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule ids to check exclusively "
+                             "(e.g. C101,C102)")
+    p_lint.add_argument("--ignore", metavar="RULES", default=None,
+                        help="comma-separated rule ids to skip")
+    p_lint.add_argument("--explain", metavar="RULE", default=None,
+                        help="print a rule's rationale with bad/good examples "
+                             "('all' prints every rule) and exit")
     return parser
 
 
@@ -436,6 +455,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        RULES,
+        LintError,
+        format_explain,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+
+    if args.explain:
+        wanted = sorted(RULES) if args.explain.lower() == "all" else [args.explain.upper()]
+        unknown = [r for r in wanted if r not in RULES]
+        if unknown:
+            print(
+                f"error: unknown rule {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+        print("\n".join(format_explain(RULES[r]) for r in wanted), end="")
+        return 0
+
+    paths = args.paths or [p for p in ("src", "examples", "benchmarks") if Path(p).is_dir()]
+    if not paths:
+        print("error: no paths given and no default directories found", file=sys.stderr)
+        return 2
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings, files_checked = lint_paths(paths, select=select, ignore=ignore)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    formatter = format_json if args.fmt == "json" else format_text
+    print(formatter(findings, files_checked))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "screen": _cmd_screen,
     "calculator": _cmd_calculator,
@@ -443,6 +503,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

@@ -13,6 +13,7 @@ from repro.engine.broadcast import Broadcast
 from repro.engine.config import EngineConfig
 from repro.engine.context import Context
 from repro.engine.errors import (
+    ClosureSerializationError,
     ContextStoppedError,
     EngineError,
     JobFailedError,
@@ -58,6 +59,7 @@ __all__ = [
     "JobFailedError",
     "TaskFailedError",
     "SerializationError",
+    "ClosureSerializationError",
     "ShuffleFetchError",
     "ContextStoppedError",
 ]

@@ -18,7 +18,7 @@ import pickle
 import types
 from typing import Any, Callable, List, Sequence, Tuple
 
-from repro.engine.errors import SerializationError
+from repro.engine.errors import ClosureSerializationError, SerializationError
 
 __all__ = [
     "serialize",
@@ -112,13 +112,39 @@ class _ClosurePickler(pickle.Pickler):
         return NotImplemented
 
 
+def _raise_serialization_error(obj: Any, exc: Exception) -> None:
+    """Localize the failure via the lint bridge before giving up.
+
+    A bare pickle error names a type three frames deep; the bridge walks
+    the payload the way the pickler did and names the exact closure cell
+    or default that cannot ship, plus the lint rule that catches it
+    statically.
+    """
+    from repro.lint.bridge import find_unpicklable
+
+    issue = None
+    try:
+        issue = find_unpicklable(obj, _picklable)
+    except Exception:  # diagnosis must never mask the original failure
+        pass
+    if issue is not None:
+        raise ClosureSerializationError(
+            f"cannot serialize {type(obj).__name__}: {exc} — "
+            f"unpicklable capture at {issue.describe()}; "
+            "run `python -m repro lint` to catch this before runtime",
+            capture_path=issue.path,
+            rule=issue.rule,
+        ) from exc
+    raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+
+
 def serialize(obj: Any) -> bytes:
     """Pickle *obj*, tolerating lambdas and nested functions."""
     buf = io.BytesIO()
     try:
         _ClosurePickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
-    except Exception as exc:  # pragma: no cover - depends on payload
-        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    except Exception as exc:
+        _raise_serialization_error(obj, exc)
     return buf.getvalue()
 
 
@@ -143,8 +169,8 @@ def serialize_oob(obj: Any) -> Tuple[bytes, List[bytearray]]:
     buf = io.BytesIO()
     try:
         _ClosurePickler(buf, protocol=OOB_PROTOCOL, buffer_callback=buffers.append).dump(obj)
-    except Exception as exc:  # pragma: no cover - depends on payload
-        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    except Exception as exc:
+        _raise_serialization_error(obj, exc)
     return buf.getvalue(), [bytearray(pb) for pb in buffers]
 
 

@@ -7,6 +7,7 @@ __all__ = [
     "JobFailedError",
     "TaskFailedError",
     "SerializationError",
+    "ClosureSerializationError",
     "ShuffleFetchError",
     "ContextStoppedError",
 ]
@@ -49,6 +50,23 @@ class JobFailedError(EngineError):
 
 class SerializationError(EngineError):
     """A closure or record could not be pickled for process execution."""
+
+
+class ClosureSerializationError(SerializationError):
+    """A task closure failed to serialize, with the capture localized.
+
+    Raised instead of a bare :class:`SerializationError` when the
+    :mod:`repro.lint` bridge can name the unpicklable capture — the
+    message then carries the capture path (function definition site,
+    closure cell / default name), the lint rule that flags it
+    statically, and :attr:`capture_path` / :attr:`rule` for
+    programmatic handling.
+    """
+
+    def __init__(self, message: str, *, capture_path=(), rule=None):
+        super().__init__(message)
+        self.capture_path = tuple(capture_path)
+        self.rule = rule
 
 
 class ShuffleFetchError(EngineError):

@@ -391,7 +391,11 @@ class ProcessExecutor(BaseExecutor):
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         pending = {i: 0 for i in range(len(tasks))}  # task index -> attempts
         payloads = [closure_mod.serialize_oob(t) for t in tasks]
-        with self._lock:  # one job wave at a time through this pool
+        # One job wave at a time through this pool: the lock is a pool
+        # admission gate held for the wave's whole lifetime by design, so
+        # waiting on futures and posting progress events under it is the
+        # point, not an accident.  No listener acquires this lock.
+        with self._lock:  # repro: lint-ignore[E202]
             futures = {
                 self._pool.submit(_process_worker_run, *payloads[i]): i for i in pending
             }

@@ -1,0 +1,54 @@
+"""repro.lint: static closure-safety and engine-concurrency analysis.
+
+Two rule families over plain ``ast`` (no imports of analyzed code):
+
+* ``C1xx`` closure safety — every function handed to an RDD transform or
+  lattice kernel is checked for captures that cannot (or must not) cross
+  the data plane: driver machinery, unpicklable handles, module-global
+  writes, unseeded randomness, task-side accumulator reads.
+* ``E2xx`` engine concurrency — ``repro.engine`` / ``repro.serve``
+  internals are checked against the declared lock order, for blocking
+  calls under data-plane locks, and for events mutated after posting.
+
+CLI: ``python -m repro lint [paths] [--format text|json] [--select ..]
+[--ignore ..] [--explain RULE]``.  Suppress a finding in place with
+``# repro: lint-ignore[RULE]``.
+"""
+
+from repro.lint.analyzer import (
+    JSON_SCHEMA_VERSION,
+    LintError,
+    analyze_file,
+    analyze_source,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.bridge import CaptureIssue, capture_report, find_unpicklable
+from repro.lint.concurrency_rules import LOCK_LEVELS, MODULE_LOCK_LEVELS
+from repro.lint.model import LintFinding, Suppressions
+from repro.lint.rules import CLOSURE_RULES, CONCURRENCY_RULES, RULES, Rule, format_explain
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintError",
+    "LintFinding",
+    "Suppressions",
+    "Rule",
+    "RULES",
+    "CLOSURE_RULES",
+    "CONCURRENCY_RULES",
+    "LOCK_LEVELS",
+    "MODULE_LOCK_LEVELS",
+    "CaptureIssue",
+    "analyze_file",
+    "analyze_source",
+    "capture_report",
+    "find_unpicklable",
+    "format_explain",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+]

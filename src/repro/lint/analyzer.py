@@ -1,0 +1,178 @@
+"""Driver for :mod:`repro.lint`: file walking, filtering, formatting.
+
+``lint_paths`` is the single entry the CLI and CI use; ``analyze_source``
+is the test-friendly core (string in, findings out).  Concurrency rules
+(E2xx) only apply to ``repro/engine`` and ``repro/serve`` modules —
+user code is free to lock however it likes — unless ``force_engine``
+says otherwise (fixtures use it).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.closure_rules import analyze_closures
+from repro.lint.concurrency_rules import analyze_concurrency, is_engine_module
+from repro.lint.model import LintFinding, Suppressions
+from repro.lint.rules import RULES
+
+__all__ = [
+    "LintError",
+    "analyze_source",
+    "analyze_file",
+    "iter_python_files",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "JSON_SCHEMA_VERSION",
+]
+
+#: Bumped only on breaking changes to the JSON output shape.
+JSON_SCHEMA_VERSION = 1
+
+
+class LintError(Exception):
+    """Usage/IO error: unknown rule id, unreadable path (CLI exit code 2)."""
+
+
+def _validate_rule_ids(ids: Optional[Iterable[str]], flag: str) -> Optional[frozenset]:
+    if ids is None:
+        return None
+    normalized = frozenset(r.strip().upper() for r in ids if r.strip())
+    unknown = sorted(normalized - set(RULES))
+    if unknown:
+        raise LintError(
+            f"{flag}: unknown rule id(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(RULES))})"
+        )
+    return normalized
+
+
+def analyze_source(
+    source: str,
+    filename: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    force_engine: bool = False,
+) -> List[LintFinding]:
+    """Lint one module's source text; returns surviving findings sorted."""
+    selected = _validate_rule_ids(select, "--select")
+    ignored = _validate_rule_ids(ignore, "--ignore")
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise LintError(f"{filename}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
+
+    findings = analyze_closures(tree, filename)
+    if force_engine or is_engine_module(filename):
+        findings.extend(analyze_concurrency(tree, filename))
+
+    suppressions = Suppressions(source)
+    kept = []
+    for f in findings:
+        if selected is not None and f.rule not in selected:
+            continue
+        if ignored is not None and f.rule in ignored:
+            continue
+        if suppressions.matches(f.rule, (f.line, *f.anchor_lines)):
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return kept
+
+
+def analyze_file(
+    path: Path,
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    force_engine: bool = False,
+) -> List[LintFinding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    return analyze_source(
+        source,
+        filename=str(path),
+        select=select,
+        ignore=ignore,
+        force_engine=force_engine,
+    )
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: List[Path] = []
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    force_engine: bool = False,
+) -> Tuple[List[LintFinding], int]:
+    """Lint every .py under ``paths``; returns (findings, files_checked)."""
+    files = iter_python_files(paths)
+    findings: List[LintFinding] = []
+    for path in files:
+        findings.extend(
+            analyze_file(
+                path, select=select, ignore=ignore, force_engine=force_engine
+            )
+        )
+    return findings, len(files)
+
+
+def format_text(findings: Sequence[LintFinding], files_checked: int) -> str:
+    """Human-readable report: one block per finding, then a summary line."""
+    lines: List[str] = []
+    for f in findings:
+        lines.append(f"{f.file}:{f.line}:{f.col}: {f.rule} [{RULES[f.rule].name}] {f.message}")
+        for hop in f.chain:
+            lines.append(f"    via {hop}")
+        if f.hint:
+            lines.append(f"    fix: {f.hint}")
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) in {files_checked} {noun}.")
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} {noun}.")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[LintFinding], files_checked: int) -> str:
+    """Machine-readable report (schema locked by tests/lint)."""
+    by_rule: dict = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "files_checked": files_checked,
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,322 @@
+"""Engine-concurrency rules (E2xx) for ``repro.engine`` / ``repro.serve``.
+
+The engine's locks form a declared hierarchy (outer acquired first);
+the table below *is* the normative order — docs/architecture.md renders
+it for humans.  Identity is resolved syntactically: ``with self._lock:``
+inside ``class BlockStore`` is the BlockStore lock, a module-level
+``with _stage_lock:`` is keyed by module, and local aliases
+(``lock = self._engine_lock``) are followed within a function.
+
+Checks are per-function: nesting across call boundaries is out of scope
+(and out of budget for an AST pass); the rules target the patterns that
+have actually bitten Spark-like engines — publish/block while holding a
+store lock, inverted nesting, and events rewritten after delivery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.model import LintFinding, dotted_name
+from repro.lint.rules import RULES
+
+__all__ = ["analyze_concurrency", "LOCK_LEVELS", "MODULE_LOCK_LEVELS", "is_engine_module"]
+
+#: Declared lock order, outer (low level) -> inner (high level), keyed by
+#: ``(class name, attribute)``.  Same-level locks must never nest.
+LOCK_LEVELS: Dict[Tuple[str, str], int] = {
+    ("ReproServer", "_engine_lock"): 10,
+    ("Context", "_lock"): 20,
+    ("SerialExecutor", "_lock"): 30,
+    ("ThreadExecutor", "_lock"): 30,
+    ("ProcessExecutor", "_lock"): 30,
+    ("ShuffleManager", "_lock"): 40,
+    ("BlockStore", "_lock"): 50,
+    ("AccumulatorRegistry", "_lock"): 60,
+    ("Accumulator", "_lock"): 60,
+    ("MetricsRegistry", "_lock"): 70,
+    ("EventBus", "_lock"): 80,
+    # Leaf locks: never held across engine calls.
+    ("RecordingListener", "_lock"): 90,
+    ("ResultCache", "_lock"): 90,
+    ("SessionRegistry", "_lock"): 90,
+    ("ServeMetricsListener", "_lock"): 90,
+    ("LatencyHistogram", "_lock"): 90,
+    ("FlightRecorder", "_lock"): 90,
+}
+
+#: Module-level lock names (id counters and the stage-id lock are leaves).
+MODULE_LOCK_LEVELS: Dict[str, int] = {
+    "_stage_lock": 90,
+    "_ids_lock": 90,
+}
+
+#: Held-lock levels at or above the data plane: blocking under these is E202.
+_DATA_PLANE_MAX_LEVEL = 50
+
+#: Call names (dotted tails) that block the calling thread.
+_BLOCKING_SIMPLE = frozenset({"sleep", "recv", "recv_bytes", "acquire", "result",
+                              "wait", "wait_for", "shutdown"})
+
+
+def is_engine_module(filename: str) -> bool:
+    path = filename.replace("\\", "/")
+    return "repro/engine/" in path or "repro/serve/" in path
+
+
+#: Conventional owner names -> lock-owning class, for resolving
+#: ``self._ctx._lock`` / ``bus._lock`` style cross-object acquisitions.
+_OWNER_NAME_CLASSES: Dict[str, str] = {
+    "ctx": "Context", "_ctx": "Context", "context": "Context",
+    "bus": "EventBus", "_bus": "EventBus", "event_bus": "EventBus",
+    "store": "BlockStore", "_store": "BlockStore",
+    "block_store": "BlockStore", "blockstore": "BlockStore", "_blockstore": "BlockStore",
+    "shuffle": "ShuffleManager", "_shuffle": "ShuffleManager",
+    "shuffle_manager": "ShuffleManager", "manager": "ShuffleManager",
+    "server": "ReproServer", "_server": "ReproServer",
+    "executor": "ThreadExecutor", "_executor": "ThreadExecutor",
+    "pool": "ThreadExecutor", "_pool": "ThreadExecutor",
+    "recorder": "FlightRecorder", "_recorder": "FlightRecorder",
+    "scheduler": "Scheduler", "_scheduler": "Scheduler",
+}
+
+#: Lock attributes that name their owner unambiguously (``_engine_lock``
+#: only exists on ReproServer), usable without knowing the owner object.
+_UNIQUE_ATTR_CLASSES: Dict[str, str] = {}
+for (_cls, _attr) in LOCK_LEVELS:
+    _UNIQUE_ATTR_CLASSES[_attr] = None if _attr in _UNIQUE_ATTR_CLASSES else _cls
+_UNIQUE_ATTR_CLASSES = {a: c for a, c in _UNIQUE_ATTR_CLASSES.items() if c}
+
+
+def _owner_class(owner: ast.AST) -> Optional[str]:
+    """Class owning ``<owner>._lock``, from conventional naming."""
+    name = None
+    if isinstance(owner, ast.Name):
+        name = owner.id
+    elif isinstance(owner, ast.Attribute):
+        name = owner.attr
+    return _OWNER_NAME_CLASSES.get(name) if name else None
+
+
+def _lock_key(expr: ast.AST, class_name: Optional[str],
+              aliases: Dict[str, Tuple[Optional[str], str]]) -> Optional[Tuple[Optional[str], str]]:
+    """Resolve a with-item expression to a lock identity, if it looks like one."""
+    if isinstance(expr, ast.Attribute):
+        if "lock" not in expr.attr:
+            return None
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return (class_name, expr.attr)
+        owner = _owner_class(expr.value) or _UNIQUE_ATTR_CLASSES.get(expr.attr)
+        return (owner, expr.attr)
+    if isinstance(expr, ast.Name):
+        if expr.id in aliases:
+            return aliases[expr.id]
+        if "lock" in expr.id:
+            return (_UNIQUE_ATTR_CLASSES.get(expr.id), expr.id)
+    return None
+
+
+def _lock_level(key: Tuple[Optional[str], str]) -> Optional[int]:
+    cls, attr = key
+    if cls is not None:
+        return LOCK_LEVELS.get((cls, attr))
+    return MODULE_LOCK_LEVELS.get(attr)
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """E201/E202/E203 over one function body."""
+
+    def __init__(self, analyzer: "_ConcurrencyAnalyzer", class_name: Optional[str]) -> None:
+        self.analyzer = analyzer
+        self.class_name = class_name
+        # alias name -> lock key, from `lock = self._lock` style assigns
+        self.aliases: Dict[str, Tuple[Optional[str], str]] = {}
+        # stack of (lock key, level, with-statement line)
+        self.held: List[Tuple[Tuple[Optional[str], str], Optional[int], int]] = []
+        # event name -> post line (for E203)
+        self.posted: Dict[str, int] = {}
+
+    # -- alias tracking -----------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        targets = node.targets
+        if len(targets) == 1 and isinstance(targets[0], (ast.Tuple, ast.List)) and isinstance(
+            node.value, (ast.Tuple, ast.List)
+        ) and len(targets[0].elts) == len(node.value.elts):
+            pairs = list(zip(targets[0].elts, node.value.elts))
+        else:
+            pairs = [(t, node.value) for t in targets]
+        for target, value in pairs:
+            if isinstance(target, ast.Name):
+                key = _lock_key(value, self.class_name, self.aliases)
+                if key is not None:
+                    self.aliases[target.id] = key
+                else:
+                    self.aliases.pop(target.id, None)
+                # Assigning a Name clears any posted-event tracking on it.
+                self.posted.pop(target.id, None)
+        self.generic_visit(node)
+
+    # -- E201 + E202 scaffolding --------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        acquired = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            key = _lock_key(item.context_expr, self.class_name, self.aliases)
+            if key is None:
+                continue
+            level = _lock_level(key)
+            self._check_order(key, level, node)
+            self.held.append((key, level, node.lineno))
+            acquired += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(acquired):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def _check_order(self, key, level: Optional[int], node: ast.With) -> None:
+        if level is None:
+            return
+        for held_key, held_level, held_line in self.held:
+            if held_level is None:
+                continue
+            if level <= held_level:
+                self.analyzer.emit(
+                    "E201", node,
+                    f"acquires {_fmt(key)} (level {level}) while holding "
+                    f"{_fmt(held_key)} (level {held_level}, line {held_line}) — "
+                    "declared order is outer-to-inner, strictly descending",
+                    chain=(f"holding {_fmt(held_key)} since line {held_line}",
+                           f"acquiring {_fmt(key)}"),
+                )
+
+    # -- E202 + E203 --------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name:
+            self._check_blocking(name, node)
+            self._track_post(name, node)
+        self.generic_visit(node)
+
+    def _innermost_data_plane_lock(self):
+        for key, level, line in reversed(self.held):
+            if level is not None and level <= _DATA_PLANE_MAX_LEVEL:
+                return key, level, line
+        return None
+
+    def _check_blocking(self, name: str, node: ast.Call) -> None:
+        held = self._innermost_data_plane_lock()
+        if held is None:
+            return
+        parts = name.split(".")
+        leaf = parts[-1]
+        blocking = None
+        if leaf in _BLOCKING_SIMPLE:
+            blocking = f"{name}()"
+        elif leaf == "post" and ("bus" in parts[-2] if len(parts) >= 2 else False):
+            blocking = f"{name}() (event-bus publish runs arbitrary listener code)"
+        elif leaf == "get" and len(parts) >= 2 and any(
+            h in parts[-2] for h in ("queue", "pipe", "conn")
+        ):
+            blocking = f"{name}()"
+        elif leaf == "join" and len(parts) >= 2 and any(
+            h in parts[-2] for h in ("thread", "proc", "worker", "pool")
+        ):
+            blocking = f"{name}()"
+        if blocking is None:
+            return
+        key, level, line = held
+        self.analyzer.emit(
+            "E202", node,
+            f"{blocking} while holding {_fmt(key)} (acquired line {line}) — "
+            "stalls every task on the data plane and risks deadlock",
+            chain=(f"holding {_fmt(key)} since line {line}", f"call {name}"),
+            anchor_lines=(line,),
+        )
+
+    def _track_post(self, name: str, node: ast.Call) -> None:
+        parts = name.split(".")
+        if parts[-1] != "post" or len(parts) < 2:
+            return
+        if not any("bus" in p or p == "_post" for p in parts[:-1]):
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                self.posted.setdefault(arg.id, node.lineno)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.ctx, ast.Store)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.posted
+        ):
+            post_line = self.posted[node.value.id]
+            self.analyzer.emit(
+                "E203", node,
+                f"mutates {node.value.id}.{node.attr} after posting "
+                f"{node.value.id!r} to the event bus at line {post_line} — "
+                "listeners hold the original object",
+                chain=(f"posted {node.value.id!r} at line {post_line}",
+                       f"mutated .{node.attr}"),
+            )
+        self.generic_visit(node)
+
+    # nested defs get their own checker (fresh lock state)
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.analyzer.check_function(node, self.class_name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.analyzer.check_function(node, self.class_name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # lambdas with lock acquisition don't exist; skip
+
+
+def _fmt(key: Tuple[Optional[str], str]) -> str:
+    cls, attr = key
+    return f"{cls}.{attr}" if cls else attr
+
+
+class _ConcurrencyAnalyzer:
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.findings: List[LintFinding] = []
+
+    def emit(self, rule: str, node: ast.AST, message: str,
+             chain: Tuple[str, ...] = (), anchor_lines: Tuple[int, ...] = ()) -> None:
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                file=self.filename,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                chain=chain,
+                hint=RULES[rule].hint,
+                anchor_lines=anchor_lines,
+            )
+        )
+
+    def check_function(self, fn_node, class_name: Optional[str]) -> None:
+        checker = _FunctionChecker(self, class_name)
+        for stmt in fn_node.body:
+            checker.visit(stmt)
+
+    def run(self, tree: ast.Module) -> None:
+        self._walk(tree.body, class_name=None)
+
+    def _walk(self, body, class_name: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self._walk(node.body, class_name=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.check_function(node, class_name)
+
+
+def analyze_concurrency(tree: ast.Module, filename: str) -> List[LintFinding]:
+    """Run the E2xx family over one parsed engine/serve module."""
+    analyzer = _ConcurrencyAnalyzer(filename)
+    analyzer.run(tree)
+    return analyzer.findings

@@ -1,0 +1,266 @@
+"""Rule catalogue for :mod:`repro.lint`.
+
+Every diagnostic the analyzer can emit is declared here, with a stable
+id, a one-line summary, the rationale behind the rule, and a minimal
+bad/good example pair (``python -m repro lint --explain RULE`` prints
+them).  Rule ids are stable API: suppression comments
+(``# repro: lint-ignore[C101]``), ``--select``/``--ignore`` and the JSON
+output schema all key on them.
+
+Families
+--------
+``C1xx`` — closure safety: functions shipped across the data plane
+(RDD transforms, :class:`~repro.sbgt.distributed_lattice.DistributedLattice`
+kernels) must not capture driver-only machinery, unpicklable handles,
+or nondeterminism.
+
+``E2xx`` — engine concurrency: ``repro.engine`` / ``repro.serve``
+internals must respect the declared lock order and never block or
+publish while holding a data-plane lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "RULES", "CLOSURE_RULES", "CONCURRENCY_RULES", "format_explain"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic the analyzer can produce."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+    bad: str
+    good: str
+    hint: str
+
+
+_RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="C101",
+        name="closure-captures-driver-object",
+        summary="Task closure captures a driver-only engine object",
+        rationale=(
+            "Functions passed to RDD transforms run inside worker tasks. "
+            "Driver machinery (Context, RDD handles, EventBus, BlockStore, "
+            "ShuffleManager, executors) either refuses to pickle or ships as "
+            "an inert stub: a worker Context is stopped, its bus is disabled "
+            "and its stores are None, so any use fails mid-job with a "
+            "confusing cross-process traceback instead of at submission."
+        ),
+        bad=(
+            "with Context(mode='processes') as ctx:\n"
+            "    data = ctx.parallelize(range(8), 4)\n"
+            "    # the closure drags the whole driver context into the task\n"
+            "    data.map(lambda x: ctx.parallelize([x]).count()).collect()"
+        ),
+        good=(
+            "with Context(mode='processes') as ctx:\n"
+            "    data = ctx.parallelize(range(8), 4)\n"
+            "    # pure closure; nested jobs are driver-side compositions\n"
+            "    counts = data.map(lambda x: 1).collect()"
+        ),
+        hint=(
+            "close over plain data (or a Broadcast) instead; submit follow-up "
+            "jobs from the driver"
+        ),
+    ),
+    Rule(
+        id="C102",
+        name="closure-captures-unpicklable",
+        summary="Task closure captures a value that cannot cross a process boundary",
+        rationale=(
+            "Process-mode tasks ship as protocol-5 pickles. Locks, open "
+            "files, sockets, queues, threads and generators are unpicklable: "
+            "the job dies in closure.serialize long after the defect was "
+            "written, and thread mode silently *shares* the handle instead — "
+            "the same code behaves differently per executor mode."
+        ),
+        bad=(
+            "lock = threading.Lock()\n"
+            "def guarded(x):\n"
+            "    with lock:          # unpicklable capture\n"
+            "        return x + 1\n"
+            "rdd.map(guarded).collect()"
+        ),
+        good=(
+            "def pure(x):\n"
+            "    return x + 1        # tasks own their partition: no lock needed\n"
+            "rdd.map(pure).collect()"
+        ),
+        hint=(
+            "tasks own their partition exclusively — drop the handle, or open "
+            "resources inside the task body"
+        ),
+    ),
+    Rule(
+        id="C103",
+        name="task-writes-module-global",
+        summary="Task code writes a module-level global",
+        rationale=(
+            "A task mutating module globals only updates the interpreter it "
+            "runs in: forked workers each mutate their private copy and the "
+            "driver sees nothing (silent divergence), while thread mode races "
+            "on the shared one. Results then depend on executor mode and "
+            "scheduling — exactly the nondeterminism that threatens "
+            "reproducible accuracy numbers."
+        ),
+        bad=(
+            "SEEN = 0\n"
+            "def tally(x):\n"
+            "    global SEEN\n"
+            "    SEEN += 1           # lost on fork, racy on threads\n"
+            "    return x\n"
+            "rdd.map(tally).collect()"
+        ),
+        good=(
+            "seen = ctx.accumulator(0)\n"
+            "def tally(x):\n"
+            "    seen.add(1)         # merged exactly once per successful task\n"
+            "    return x\n"
+            "rdd.map(tally).collect()"
+        ),
+        hint="use ctx.accumulator(...) for task-side counters, or return the data",
+    ),
+    Rule(
+        id="C104",
+        name="task-nondeterminism",
+        summary="Task code draws unseeded randomness or reads the clock",
+        rationale=(
+            "Unseeded random module calls and wall-clock reads make task "
+            "output depend on scheduling, retries and executor mode: a "
+            "retried task re-draws different numbers, and the same screen "
+            "stops reproducing bit-identically across runs — silently "
+            "undermining any reported accuracy figure."
+        ),
+        bad=(
+            "rdd.map(lambda x: x + random.random()).collect()  # differs per run/retry"
+        ),
+        good=(
+            "def jitter(i, it):\n"
+            "    rng = np.random.default_rng(seed * 1000 + i)  # per-partition stream\n"
+            "    return (x + rng.random() for x in it)\n"
+            "rdd.map_partitions_with_index(jitter).collect()"
+        ),
+        hint=(
+            "derive a per-partition seed from a driver-chosen seed "
+            "(map_partitions_with_index), or pass a seeded Generator"
+        ),
+    ),
+    Rule(
+        id="C105",
+        name="accumulator-read-in-task",
+        summary="Task code reads an accumulator's value",
+        rationale=(
+            "Accumulators are write-only from tasks: deltas merge at the "
+            "driver once per successful task. A task-side .value read sees "
+            "the worker stub's zero in process mode and a racy partial in "
+            "thread mode — never the number the driver will end up with."
+        ),
+        bad=(
+            "count = ctx.accumulator(0)\n"
+            "rdd.map(lambda x: x / max(count.value, 1)).collect()  # reads 0 or a race"
+        ),
+        good=(
+            "count = ctx.accumulator(0)\n"
+            "rdd.foreach(lambda x: count.add(1))\n"
+            "total = count.value      # read at the driver, after the action"
+        ),
+        hint="read .value at the driver after the action completes",
+    ),
+    Rule(
+        id="E201",
+        name="lock-order-violation",
+        summary="Engine locks acquired against the declared order",
+        rationale=(
+            "repro.engine / repro.serve locks form a declared hierarchy "
+            "(see docs/architecture.md). Acquiring an outer lock while "
+            "holding an inner one inverts the order some other thread uses "
+            "and deadlocks under load — precisely the failure mode that only "
+            "reproduces on a saturated server."
+        ),
+        bad=(
+            "with self._lock:                 # BlockStore lock (inner)\n"
+            "    with self._ctx._lock:        # Context lock (outer) — inversion\n"
+            "        ..."
+        ),
+        good=(
+            "with self._ctx._lock:            # outer first\n"
+            "    with self._lock:             # then inner\n"
+            "        ..."
+        ),
+        hint="acquire locks outer-to-inner per the declared order, or split the critical section",
+    ),
+    Rule(
+        id="E202",
+        name="blocking-call-under-lock",
+        summary="Blocking call while holding a data-plane lock",
+        rationale=(
+            "The BlockStore/ShuffleManager/scheduler-side locks sit on every "
+            "task's hot path. Sleeping, waiting on futures/queues/pipes, or "
+            "posting to the event bus while holding one stalls every worker "
+            "and can deadlock if the blocked-on party needs the same lock "
+            "(the bus delivers to arbitrary listener code)."
+        ),
+        bad=(
+            "with self._lock:\n"
+            "    block = self._blocks[key]\n"
+            "    bus.post(CacheHit(*key))     # listener code runs under the lock"
+        ),
+        good=(
+            "with self._lock:\n"
+            "    block = self._blocks[key]\n"
+            "bus.post(CacheHit(*key))         # publish after releasing"
+        ),
+        hint="collect under the lock, then block/publish after releasing it",
+    ),
+    Rule(
+        id="E203",
+        name="event-mutated-after-post",
+        summary="Event object mutated after being posted to the bus",
+        rationale=(
+            "Engine events are plain (unfrozen) dataclasses for construction "
+            "speed; listeners such as the flight recorder keep references "
+            "instead of copying. Mutating an event after bus.post() "
+            "retroactively rewrites recorded history and races with "
+            "concurrent listener reads."
+        ),
+        bad=(
+            "event = TaskEnd(stage, part, wall_s=0.0)\n"
+            "bus.post(event)\n"
+            "event.wall_s = elapsed          # recorder already holds it"
+        ),
+        good=(
+            "event = TaskEnd(stage, part, wall_s=elapsed)  # finish it first\n"
+            "bus.post(event)"
+        ),
+        hint="fully populate the event before posting; post a fresh event for new facts",
+    ),
+)
+
+#: All rules, keyed by id.
+RULES: Dict[str, Rule] = {r.id: r for r in _RULES}
+
+CLOSURE_RULES = tuple(r.id for r in _RULES if r.id.startswith("C"))
+CONCURRENCY_RULES = tuple(r.id for r in _RULES if r.id.startswith("E"))
+
+
+def format_explain(rule: Rule) -> str:
+    """Render one rule's self-documentation (``--explain`` output)."""
+    bar = "-" * max(len(rule.id) + len(rule.name) + 3, 24)
+    bad = "\n".join("    " + line for line in rule.bad.splitlines())
+    good = "\n".join("    " + line for line in rule.good.splitlines())
+    return (
+        f"{rule.id} — {rule.name}\n{bar}\n"
+        f"{rule.summary}.\n\n"
+        f"Why: {rule.rationale}\n\n"
+        f"Bad:\n{bad}\n\n"
+        f"Good:\n{good}\n\n"
+        f"Fix hint: {rule.hint}\n"
+        f"Suppress with: # repro: lint-ignore[{rule.id}]\n"
+    )

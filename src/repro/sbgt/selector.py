@@ -188,8 +188,10 @@ def select_lookahead_pools_distributed(
 
         masses = lattice.rdd.tree_aggregate(
             np.zeros((candidates.size, n_cells)),
-            lambda acc, b: acc
-            + _block_refined_cell_masses(b, chosen_t, cand_bc.value, n_cells, off),
+            # Defaults pin this iteration's values (B023: the loop rebinds
+            # these names before the next aggregation ships the closure).
+            lambda acc, b, chosen_t=chosen_t, bc=cand_bc, k=n_cells, off=off: acc
+            + _block_refined_cell_masses(b, chosen_t, bc.value, k, off),
             lambda a, b: a + b,
         )
         best = None

@@ -1,5 +1,7 @@
 """EvidenceLog bookkeeping."""
 
+import dataclasses
+
 import pytest
 
 from repro.bayes.evidence import EvidenceLog, TestRecord
@@ -27,7 +29,7 @@ class TestTestRecord:
 
     def test_frozen(self):
         rec = make_record()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             rec.stage = 5
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.errors import EngineError
+from repro.engine.errors import EngineError, JobFailedError
 
 
 class TestReduceFold:
@@ -115,5 +115,5 @@ class TestRunJobPartitions:
 
     def test_out_of_range_partition_raises(self, ctx):
         rdd = ctx.range(10, num_partitions=2)
-        with pytest.raises(Exception):
+        with pytest.raises(JobFailedError):
             ctx.run_job(rdd, list, partitions=[5])

@@ -1,5 +1,7 @@
 """EngineConfig validation and metrics objects."""
 
+import dataclasses
+
 import pytest
 
 from repro.engine.config import EngineConfig
@@ -41,7 +43,7 @@ class TestEngineConfig:
 
     def test_frozen(self):
         cfg = EngineConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.mode = "serial"
 
 

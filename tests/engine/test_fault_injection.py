@@ -76,7 +76,7 @@ class TestProcessModeFailures:
         # Results must cross the process boundary; a lock cannot.
         import threading as _t
 
-        with pytest.raises(Exception):
+        with pytest.raises(TaskFailedError):
             process_ctx.range(2, num_partitions=1).map(lambda x: _t.Lock()).collect()
 
     def test_process_context_survives_failure(self, process_ctx):

@@ -116,7 +116,7 @@ class TestFailureHandling:
             attempts = {"n": 0}
 
             def flaky(i, it):
-                for x in it:
+                for _x in it:
                     acc.add(1)
                 attempts["n"] += 1
                 if attempts["n"] < 3:

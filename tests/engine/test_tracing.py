@@ -173,7 +173,11 @@ class TestPropagation:
         assert ends
         for d in ends:
             assert t_before - 1.0 <= d["t0_wall"] <= t_after + 1.0
-            assert d["t0_wall"] <= d["wall"] + 1e-6
+            # t0_wall is a live time.time() read; d["wall"] is
+            # perf_counter + an EPOCH_OFFSET frozen at import.  The two
+            # clock domains jitter a few microseconds apart, so the
+            # "start precedes end" check needs millisecond slack.
+            assert d["t0_wall"] <= d["wall"] + 5e-3
             pid_s, _, thread = d["worker"].partition("/")
             assert thread
             if mode == "processes":

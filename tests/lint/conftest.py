@@ -1,0 +1,28 @@
+"""Shared helpers for the repro.lint test suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import analyze_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def lint_fixture():
+    """Analyze one fixture file by name; E-rules forced on for engine ones."""
+
+    def run(name: str, **kwargs):
+        path = FIXTURES / name
+        force_engine = kwargs.pop("force_engine", name.startswith("engine_"))
+        return analyze_source(
+            path.read_text(encoding="utf-8"),
+            filename=str(path),
+            force_engine=force_engine,
+            **kwargs,
+        )
+
+    return run

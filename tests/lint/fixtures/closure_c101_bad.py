@@ -1,0 +1,15 @@
+"""C101: task closures capturing driver-only engine machinery."""
+from repro.engine import Context
+
+with Context(mode="processes") as ctx:
+    data = ctx.parallelize(range(8), 4)
+    # line 7: the lambda drags the whole driver context into the task
+    data.map(lambda x: ctx.parallelize([x]).count()).collect()
+
+    other = ctx.parallelize(range(4))
+    data.filter(lambda x: other.count() > x).collect()
+
+    def smuggled(x, c=ctx):
+        return c.parallelism
+
+    data.map(smuggled).collect()

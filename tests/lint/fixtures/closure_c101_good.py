@@ -1,0 +1,9 @@
+"""C101 negative: pure closures, broadcasts, driver-side composition."""
+from repro.engine import Context
+
+with Context(mode="processes") as ctx:
+    data = ctx.parallelize(range(8), 4)
+    threshold = ctx.broadcast(3)
+    data.map(lambda x: x + 1).collect()
+    data.filter(lambda x: x > threshold.value).collect()
+    counts = [ctx.parallelize([x]).count() for x in range(2)]

@@ -1,0 +1,10 @@
+"""C102 negative: resources opened inside the task body."""
+
+
+def append_one(x):
+    with open("audit.log", "a") as fh:
+        fh.write(str(x))
+    return x
+
+
+rdd.map(append_one).collect()

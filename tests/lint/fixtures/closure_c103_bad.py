@@ -1,0 +1,18 @@
+"""C103: task code writing module globals."""
+SEEN = 0
+CACHE = {}
+
+
+def tally(x):
+    global SEEN
+    SEEN += 1
+    return x
+
+
+def memo(x):
+    CACHE[x] = x * 2
+    return CACHE[x]
+
+
+rdd.map(tally).collect()
+rdd.map(memo).collect()

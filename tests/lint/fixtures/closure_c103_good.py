@@ -1,0 +1,10 @@
+"""C103 negative: accumulators for task-side counters."""
+seen = ctx.accumulator(0)
+
+
+def tally(x):
+    seen.add(1)
+    return x
+
+
+rdd.map(tally).collect()

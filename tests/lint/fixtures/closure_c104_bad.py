@@ -1,0 +1,10 @@
+"""C104: unseeded randomness / clock reads in task code."""
+import random
+import time
+
+import numpy as np
+
+rdd.map(lambda x: x + random.random()).collect()
+rdd.map(lambda x: x * np.random.random()).collect()
+rdd.map(lambda x: np.random.default_rng().normal()).collect()
+rdd.map(lambda x: (x, time.time())).collect()

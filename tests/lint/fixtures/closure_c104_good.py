@@ -1,0 +1,12 @@
+"""C104 negative: per-partition seeded generators."""
+import numpy as np
+
+seed = 1234
+
+
+def jitter(i, it):
+    rng = np.random.default_rng(seed * 1000 + i)
+    return (x + rng.random() for x in it)
+
+
+rdd.map_partitions_with_index(jitter).collect()

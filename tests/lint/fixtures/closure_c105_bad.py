@@ -1,0 +1,3 @@
+"""C105: accumulator read inside a transform."""
+count = ctx.accumulator(0)
+rdd.map(lambda x: x / max(count.value, 1)).collect()

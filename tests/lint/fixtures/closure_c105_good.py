@@ -1,0 +1,4 @@
+"""C105 negative: write in the task, read at the driver."""
+count = ctx.accumulator(0)
+rdd.foreach(lambda x: count.add(1))
+total = count.value

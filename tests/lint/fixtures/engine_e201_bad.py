@@ -1,0 +1,14 @@
+"""E201: lock acquisitions against the declared order."""
+
+
+class BlockStore:
+    def inverted(self):
+        with self._lock:
+            with self._ctx._lock:
+                return None
+
+    def inverted_alias(self, ctx):
+        lock = ctx._lock
+        with self._lock:
+            with lock:
+                return None

@@ -1,0 +1,8 @@
+"""E201 negative: outer-to-inner acquisition."""
+
+
+class BlockStore:
+    def ordered(self, ctx):
+        with ctx._lock:
+            with self._lock:
+                return None

@@ -1,0 +1,11 @@
+"""E202: blocking / publishing while holding a data-plane lock."""
+import time
+
+
+class BlockStore:
+    def slow_get(self, bus, key):
+        with self._lock:
+            block = self._blocks[key]
+            bus.post(key)
+            time.sleep(0.01)
+            return block

@@ -1,0 +1,11 @@
+"""E202 negative: collect under the lock, publish after releasing."""
+import time
+
+
+class BlockStore:
+    def fast_get(self, bus, key):
+        with self._lock:
+            block = self._blocks[key]
+        bus.post(key)
+        time.sleep(0.01)
+        return block

@@ -1,0 +1,8 @@
+"""E203: event mutated after posting to the bus."""
+
+
+class Scheduler:
+    def finish(self, bus, elapsed):
+        event = self._make_event()
+        bus.post(event)
+        event.wall_s = elapsed

@@ -1,0 +1,7 @@
+"""E203 negative: events fully populated before posting."""
+
+
+class Scheduler:
+    def finish(self, bus, elapsed):
+        event = self._make_event(wall_s=elapsed)
+        bus.post(event)

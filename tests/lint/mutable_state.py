@@ -1,0 +1,10 @@
+"""Deliberate C103 defect used by test_bridge: a task that increments a
+module global.  Top-level so process workers resolve it by reference."""
+
+SEEN = 0
+
+
+def tally(x):
+    global SEEN
+    SEEN += 1
+    return x

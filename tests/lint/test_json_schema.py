@@ -1,0 +1,52 @@
+"""JSON output schema lockdown: version 1 shape is stable API."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import JSON_SCHEMA_VERSION, analyze_source, format_json, format_text
+
+BAD = "import random\nrdd.map(lambda x: random.random()).collect()\n"
+
+
+class TestJsonSchema:
+    def test_top_level_shape(self):
+        findings = analyze_source(BAD, filename="demo.py")
+        payload = json.loads(format_json(findings, files_checked=1))
+        assert set(payload) == {"version", "findings", "summary"}
+        assert payload["version"] == JSON_SCHEMA_VERSION == 1
+        assert set(payload["summary"]) == {"files_checked", "total", "by_rule"}
+        assert payload["summary"] == {
+            "files_checked": 1,
+            "total": 1,
+            "by_rule": {"C104": 1},
+        }
+
+    def test_finding_shape(self):
+        findings = analyze_source(BAD, filename="demo.py")
+        (entry,) = json.loads(format_json(findings, files_checked=1))["findings"]
+        assert set(entry) == {"rule", "file", "line", "col", "message", "chain", "hint"}
+        assert entry["rule"] == "C104"
+        assert entry["file"] == "demo.py"
+        assert entry["line"] == 2
+        assert isinstance(entry["chain"], list) and entry["chain"]
+        assert isinstance(entry["hint"], str) and entry["hint"]
+
+    def test_clean_payload(self):
+        payload = json.loads(format_json([], files_checked=3))
+        assert payload["findings"] == []
+        assert payload["summary"] == {"files_checked": 3, "total": 0, "by_rule": {}}
+
+
+class TestTextFormat:
+    def test_finding_block_and_summary(self):
+        findings = analyze_source(BAD, filename="demo.py")
+        text = format_text(findings, files_checked=1)
+        assert "demo.py:2:" in text
+        assert "C104 [task-nondeterminism]" in text
+        assert "    via " in text
+        assert "    fix: " in text
+        assert "1 finding(s) in 1 file." in text
+
+    def test_clean_summary(self):
+        assert format_text([], files_checked=5) == "clean: 0 findings in 5 files."

@@ -1,0 +1,58 @@
+"""Suppression directives and select/ignore filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import LintError, analyze_source
+
+
+class TestSuppressionDirectives:
+    def test_fixture_covers_every_position(self, lint_fixture):
+        # Five seeded C104s: four suppressed (same-line bracket, standalone
+        # comment, bare ignore, comma list), one under the *wrong* rule id.
+        findings = lint_fixture("suppressed.py")
+        assert [f.rule for f in findings] == ["C104"]
+        assert findings[0].line == 14
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "import random\nrdd.map(lambda x: random.random()).collect()  # repro: lint-ignore[C105]\n"
+        assert len(analyze_source(src)) == 1
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        src = "import random\nrdd.map(lambda x: random.random()).collect()  # repro: lint-ignore\n"
+        assert analyze_source(src) == []
+
+
+class TestSelectIgnore:
+    SRC = (
+        "import random\n"
+        "import threading\n"
+        "lk = threading.Lock()\n"
+        "def f(x):\n"
+        "    with lk:\n"
+        "        return x + random.random()\n"
+        "rdd.map(f).collect()\n"
+    )
+
+    def test_unfiltered_reports_both(self):
+        assert {f.rule for f in analyze_source(self.SRC)} == {"C102", "C104"}
+
+    def test_select_keeps_only_listed(self):
+        assert {f.rule for f in analyze_source(self.SRC, select=["C104"])} == {"C104"}
+
+    def test_ignore_drops_listed(self):
+        assert {f.rule for f in analyze_source(self.SRC, ignore=["C104"])} == {"C102"}
+
+    def test_unknown_rule_id_is_usage_error(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            analyze_source(self.SRC, select=["C999"])
+        with pytest.raises(LintError, match="unknown rule"):
+            analyze_source(self.SRC, ignore=["nope"])
+
+    def test_rule_ids_normalized_case_insensitively(self):
+        assert {f.rule for f in analyze_source(self.SRC, select=["c102"])} == {"C102"}
+
+    def test_syntax_error_is_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            analyze_source("def broken(:\n")

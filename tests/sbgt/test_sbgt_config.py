@@ -1,5 +1,7 @@
 """SBGTConfig validation."""
 
+import dataclasses
+
 import pytest
 
 from repro.sbgt.config import SBGTConfig
@@ -32,5 +34,5 @@ class TestSBGTConfig:
         assert cfg.max_stages == 50
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             SBGTConfig().max_stages = 3

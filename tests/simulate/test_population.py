@@ -1,6 +1,8 @@
 """Cohort generation and ground truth."""
 
 import numpy as np
+import dataclasses
+
 import pytest
 
 from repro.bayes.priors import PriorSpec
@@ -40,7 +42,7 @@ class TestCohort:
 
     def test_frozen(self):
         cohort = Cohort(PriorSpec.uniform(2, 0.1), 0)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cohort.truth_mask = 3
 
 
