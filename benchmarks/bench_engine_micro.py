@@ -305,3 +305,49 @@ def test_update_is_single_pass():
             jobs = rec.of_type(JobStart)
             assert len(jobs) == 1, [j.description for j in jobs]
         dl.unpersist()
+
+
+# ---------------------------------------------------------------------------
+# Posterior-backend guard.  The dense lattice walls at 2^N; the sparse
+# backend must take a cohort far past that wall through a complete
+# screen inside a hard wall-clock budget.
+
+
+def test_sparse_backend_large_n_screen_smoke():
+    """A full N=120 screen on the sparse backend finishes in < 30 s.
+
+    2^120 dense states is ~1e36 — the dense backend cannot represent
+    this cohort at all, so completing end-to-end (pools proposed, tests
+    run, everyone classified) is the acceptance bar for the
+    representation-bounded backend, and the wall bound keeps it an
+    interactive-scale operation rather than a batch job.
+    """
+    import time
+
+    from repro.bayes.dilution import DilutionErrorModel
+    from repro.bayes.priors import PriorSpec
+    from repro.halving.policy import BHAPolicy
+    from repro.sbgt.config import SBGTConfig
+    from repro.sbgt.session import SBGTSession
+
+    n = 120
+    prior = PriorSpec.uniform(n, 0.04)
+    model = DilutionErrorModel(0.98, 0.995, 0.3)
+    config = SBGTConfig(backend="sparse", max_stages=200)
+
+    t0 = time.perf_counter()
+    session = SBGTSession(None, prior, model, config)
+    try:
+        result = session.run_screen(BHAPolicy(), rng=7)
+    finally:
+        session.close()
+    wall = time.perf_counter() - t0
+
+    print(
+        f"\nsparse N={n} screen: {wall:.2f}s, {result.efficiency.num_tests} tests, "
+        f"{result.stages_used} stages, accuracy {result.accuracy:.1%}"
+    )
+    assert not result.exhausted_budget
+    assert len(result.report.undetermined()) == 0
+    assert result.efficiency.num_tests > 0
+    assert wall < 30.0

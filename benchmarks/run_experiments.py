@@ -509,6 +509,52 @@ def engine_bench() -> dict:
         "oob_buffers": len(buffers),
         "oob_bytes": sum(len(b) for b in buffers),
     }
+
+    # Posterior backends: one update + marginals at a dense-feasible
+    # size for all three representations, plus the headline number —
+    # a complete large-N screen the dense lattice cannot represent.
+    from repro.halving.policy import BHAPolicy
+    from repro.sbgt.config import SBGTConfig
+    from repro.sbgt.session import SBGTSession
+    from repro.workflows.payloads import make_posterior
+
+    n = 12
+    pool = _pool(n)
+    ll = MODEL.log_likelihood_by_count(True, n // 2)
+    backends: dict = {}
+    with Context(mode="serial") as c:
+        for name in ("dense", "sparse", "particle"):
+            post = make_posterior(name, prior=PriorSpec.uniform(n, 0.02), ctx=c)
+            t0 = time.perf_counter()
+            post.update(pool, ll)
+            post.marginals()
+            backends[name] = {
+                "n": n,
+                "states": post.num_states(),
+                "update_plus_marginals_s": round(time.perf_counter() - t0, 4),
+            }
+            post.unpersist()
+
+    big_n = 120
+    t0 = time.perf_counter()
+    session = SBGTSession(
+        None,
+        PriorSpec.uniform(big_n, 0.04),
+        MODEL,
+        SBGTConfig(backend="sparse", max_stages=200),
+    )
+    try:
+        res = session.run_screen(BHAPolicy(), rng=7)
+    finally:
+        session.close()
+    backends["sparse_large_n_screen"] = {
+        "n": big_n,
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "tests": res.efficiency.num_tests,
+        "stages": res.stages_used,
+        "accuracy": round(res.accuracy, 4),
+    }
+    out["posterior_backends"] = backends
     return out
 
 

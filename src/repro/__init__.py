@@ -48,7 +48,15 @@ from repro.halving import (
 )
 from repro.engine import EngineListener, EventBus, RecordingListener
 from repro.obs import Tracer, trace_phase
-from repro.sbgt import SBGTSession, SBGTConfig, DistributedLattice, DistributedAnalyzer
+from repro.sbgt import (
+    SBGTSession,
+    SBGTConfig,
+    PosteriorBackend,
+    DistributedLattice,
+    SparsePosterior,
+    ParticlePosterior,
+    DistributedAnalyzer,
+)
 from repro.simulate import Cohort, make_cohort, TestLab, get_scenario
 from repro.workflows import ScreenOptions, run_screen, run_surveillance, pooling_calculator
 
@@ -73,7 +81,10 @@ __all__ = [
     "ExhaustiveCandidates",
     "SBGTSession",
     "SBGTConfig",
+    "PosteriorBackend",
     "DistributedLattice",
+    "SparsePosterior",
+    "ParticlePosterior",
     "DistributedAnalyzer",
     "Cohort",
     "make_cohort",

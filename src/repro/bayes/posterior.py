@@ -19,7 +19,7 @@ from repro.bayes.dilution import ResponseModel
 from repro.bayes.evidence import EvidenceLog, TestRecord
 from repro.bayes.priors import PriorSpec
 from repro.lattice import ops as lops
-from repro.lattice.prune import PruneResult, prune_by_mass
+from repro.lattice.prune import PruneStats, prune_by_mass
 from repro.lattice.states import StateSpace
 from repro.util.bits import intersect_count, mask_from_indices, popcount64
 
@@ -183,7 +183,7 @@ class Posterior:
         self.log.append(record)
         return record
 
-    def prune(self, epsilon: float) -> PruneResult:
+    def prune(self, epsilon: float) -> PruneStats:
         """Shrink the support to the ``1 - epsilon`` high-mass core."""
         result = prune_by_mass(self.space, epsilon)
         self.space = result.space

@@ -33,7 +33,13 @@ from repro.sbgt.config import SBGTConfig
 from repro.sbgt.session import SBGTSession
 from repro.simulate.scenario import SCENARIOS, get_scenario
 from repro.workflows.calculator import format_calculator_table, pooling_calculator
-from repro.workflows.payloads import POLICY_HELP, dump_payload, make_model, make_policy
+from repro.workflows.payloads import (
+    BACKEND_HELP,
+    POLICY_HELP,
+    dump_payload,
+    make_model,
+    make_policy,
+)
 from repro.workflows.surveillance import run_surveillance
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +73,12 @@ def _assay_spec(args: argparse.Namespace):
     )
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=["dense", "sparse", "particle"],
+                   default="dense",
+                   help=f"posterior representation ({BACKEND_HELP})")
+
+
 def _add_assay_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--assay", choices=["perfect", "binary", "dilution"], default="dilution")
     p.add_argument("--sensitivity", type=float, default=0.98)
@@ -82,7 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_screen = sub.add_parser("screen", help="classify one simulated cohort")
-    p_screen.add_argument("--cohort", type=int, default=16, help="cohort size (<= 24)")
+    p_screen.add_argument("--cohort", type=int, default=16,
+                          help="cohort size (<= 24 dense, larger with an "
+                               "approximate backend)")
     p_screen.add_argument("--prevalence", type=float, default=0.02)
     p_screen.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
                           help="use a named scenario instead of --prevalence/assay")
@@ -100,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(open in chrome://tracing or Perfetto)")
     p_screen.add_argument("--json", action="store_true",
                           help="emit the API payload (same shape as POST /screen)")
+    _add_backend_arg(p_screen)
     _add_assay_args(p_screen)
 
     p_calc = sub.add_parser("calculator", help="pool/don't-pool decision table")
@@ -112,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_calc.add_argument("--seed", type=int, default=0)
     p_calc.add_argument("--json", action="store_true",
                         help="emit the API payload (same shape as POST /calculator)")
+    _add_backend_arg(p_calc)
     _add_assay_args(p_calc)
 
     p_surv = sub.add_parser("surveillance", help="multi-day campaign over an epidemic wave")
@@ -149,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flight-recorder ring size behind /debug endpoints")
     p_serve.add_argument("--slow-threshold", type=float, default=0.1,
                          help="ops slower than this (s) land in GET /debug/slow")
+    p_serve.add_argument("--backend", choices=["dense", "sparse", "particle"],
+                         default="dense",
+                         help="default posterior backend for requests that "
+                              f"don't name one ({BACKEND_HELP})")
 
     p_trace = sub.add_parser("trace", help="summarize or convert a dumped JSONL trace")
     p_trace.add_argument("path", help="trace file written by --trace or dump_jsonl()")
@@ -177,8 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_screen(args: argparse.Namespace) -> int:
-    if args.cohort < 1 or args.cohort > 24:
-        print("error: --cohort must be in [1, 24] (dense lattice)", file=sys.stderr)
+    from repro.serve.protocol import MAX_COHORT, MAX_COHORT_APPROX
+
+    limit = MAX_COHORT if args.backend == "dense" else MAX_COHORT_APPROX
+    if args.cohort < 1 or args.cohort > limit:
+        hint = "dense lattice" if args.backend == "dense" else f"{args.backend} backend"
+        print(f"error: --cohort must be in [1, {limit}] ({hint})", file=sys.stderr)
         return 2
     if args.json:
         from repro.serve.protocol import ScreenRequest
@@ -191,10 +215,14 @@ def _cmd_screen(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_stages=args.max_stages,
             compact=args.compact,
+            backend=args.backend,
             assay=_assay_spec(args),
         )
-        with Context(mode="threads", parallelism=args.workers) as ctx:
-            payload = request.execute(ctx)
+        if args.backend == "dense":
+            with Context(mode="threads", parallelism=args.workers) as ctx:
+                payload = request.execute(ctx)
+        else:
+            payload = request.execute(None)
         print(dump_payload(payload), end="")
         return 0
     if args.scenario:
@@ -203,7 +231,8 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         prior = PriorSpec.uniform(args.cohort, args.prevalence)
         model = _make_model(args)
     policy = args.policy if isinstance(args.policy, SelectionPolicy) else _make_policy(args.policy)
-    config = SBGTConfig(max_stages=args.max_stages, compact_classified=args.compact)
+    config = SBGTConfig(max_stages=args.max_stages, compact_classified=args.compact,
+                        backend=args.backend)
     tracer = None
     if args.trace or args.chrome:
         from repro.obs import Tracer
@@ -211,11 +240,16 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         tracer = Tracer().install()
     recorder = None
     try:
-        with Context(mode="threads", parallelism=args.workers) as ctx:
-            if tracer is not None:
-                tracer.attach(ctx)
-            recorder = ctx.flight_recorder
-            session = SBGTSession(ctx, prior, model, config)
+        if args.backend == "dense":
+            with Context(mode="threads", parallelism=args.workers) as ctx:
+                if tracer is not None:
+                    tracer.attach(ctx)
+                recorder = ctx.flight_recorder
+                session = SBGTSession(ctx, prior, model, config)
+                result = session.run_screen(policy, rng=args.seed)
+                session.close()
+        else:
+            session = SBGTSession(None, prior, model, config)
             result = session.run_screen(policy, rng=args.seed)
             session.close()
     finally:
@@ -257,6 +291,13 @@ def _cmd_screen(args: argparse.Namespace) -> int:
 
 
 def _cmd_calculator(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import MAX_COHORT, MAX_COHORT_APPROX
+
+    limit = MAX_COHORT if args.backend == "dense" else MAX_COHORT_APPROX
+    if args.cohort < 1 or args.cohort > limit:
+        hint = "dense lattice" if args.backend == "dense" else f"{args.backend} backend"
+        print(f"error: --cohort must be in [1, {limit}] ({hint})", file=sys.stderr)
+        return 2
     if args.json:
         from repro.serve.protocol import CalculatorRequest
 
@@ -266,6 +307,7 @@ def _cmd_calculator(args: argparse.Namespace) -> int:
             replications=args.replications,
             policy=_policy_spec(args.policy),
             seed=args.seed,
+            backend=args.backend,
             assay=_assay_spec(args),
         )
         print(dump_payload(request.execute()), end="")
@@ -283,6 +325,7 @@ def _cmd_calculator(args: argparse.Namespace) -> int:
         cohort_size=args.cohort,
         replications=args.replications,
         rng=args.seed,
+        backend=args.backend,
     )
     print(format_calculator_table(entries))
     return 0
@@ -331,6 +374,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine_mode=args.engine_mode,
             flight_capacity=args.flight_capacity,
             slow_threshold_s=args.slow_threshold,
+            default_backend=args.backend,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.util.bits import as_mask_array
 from repro.util.rng import RngLike, as_rng
 from repro.util.validation import check_positive_int
 
@@ -63,7 +64,9 @@ class CandidateGenerator:
         uniq = sorted({int(m) for m in masks if int(m) != 0})
         if not uniq:
             raise ValueError("candidate generator produced no pools")
-        return np.asarray(uniq, dtype=np.uint64)
+        # uint64 for cohorts the lattice kernels can vectorise; object
+        # (Python-int) masks for the >64-individual backends.
+        return as_mask_array(uniq)
 
 
 class PrefixCandidates(CandidateGenerator):

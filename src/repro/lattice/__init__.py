@@ -25,7 +25,7 @@ from repro.lattice.ops import (
     project_out_bit,
     kl_divergence,
 )
-from repro.lattice.prune import prune_below, prune_by_mass, PruneResult
+from repro.lattice.prune import prune_below, prune_by_mass, PruneStats
 from repro.lattice.partition import LatticeBlock, partition_state_space, merge_blocks
 from repro.lattice.serialize import (
     load_posterior,
@@ -53,6 +53,7 @@ __all__ = [
     "kl_divergence",
     "prune_by_mass",
     "prune_below",
+    "PruneStats",
     "PruneResult",
     "LatticeBlock",
     "partition_state_space",
@@ -62,3 +63,12 @@ __all__ = [
     "save_posterior",
     "load_posterior",
 ]
+
+
+def __getattr__(name: str):
+    if name == "PruneResult":
+        # Deprecated alias; the warning fires in repro.lattice.prune.
+        from repro.lattice import prune as _prune
+
+        return _prune.PruneResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -42,6 +42,8 @@ __all__ = [
     "block_count_distribution_partial",
     "block_entropy_partial",
     "block_histogram_partial",
+    "block_count_hists_partial",
+    "block_refined_cell_partial",
     "block_top_states",
     "block_filter_consistent",
 ]
@@ -194,6 +196,57 @@ def block_histogram_partial(
     return np.bincount(
         idx, weights=_block_probs(block, log_offset), minlength=len(edges) - 1
     )
+
+
+def block_count_hists_partial(
+    block: LatticeBlock, candidates: np.ndarray, max_size: int, log_offset: float = 0.0
+) -> np.ndarray:
+    """Per-candidate histograms of positives-in-pool for one block.
+
+    Row ``c`` holds the linear mass of states placing ``k`` positives in
+    candidate pool ``c`` (k = 0..max_size; columns beyond a pool's size
+    stay zero).  The inner kernel of distributed information-gain
+    selection.
+    """
+    out = np.zeros((candidates.size, max_size + 1))
+    if block.size == 0:
+        return out
+    p = _block_probs(block, log_offset)
+    for c, cand in enumerate(candidates):
+        counts = intersect_count(block.masks, int(cand))
+        out[c, : counts.max() + 1] = np.bincount(counts, weights=p)
+    return out
+
+
+def block_refined_cell_partial(
+    block: LatticeBlock,
+    chosen: Tuple[int, ...],
+    candidates: np.ndarray,
+    n_cells: int,
+    log_offset: float = 0.0,
+) -> np.ndarray:
+    """Per-candidate refined-cell masses for one block.
+
+    Returns an (n_candidates, n_cells) array: row ``c`` holds the linear
+    mass of every cell of the partition induced by ``chosen + [cand_c]``.
+    The chosen-pool cell index is recomputed per block (cheap: the batch
+    is at most a handful of pools) so no per-state state needs shuffling.
+    The inner kernel of distributed look-ahead batch selection.
+    """
+    if block.size == 0:
+        return np.zeros((candidates.size, n_cells))
+    p = _block_probs(block, log_offset)
+    cell_idx = np.zeros(block.size, dtype=np.int64)
+    for j, pool in enumerate(chosen):
+        dirty = (block.masks & np.uint64(pool)) != np.uint64(0)
+        cell_idx |= dirty.astype(np.int64) << j
+    out = np.empty((candidates.size, n_cells))
+    shift = len(chosen)
+    for c, cand in enumerate(candidates):
+        dirty = (block.masks & cand) != np.uint64(0)
+        refined = cell_idx | (dirty.astype(np.int64) << shift)
+        out[c] = np.bincount(refined, weights=p, minlength=n_cells)
+    return out
 
 
 def block_top_states(block: LatticeBlock, k: int) -> List[Tuple[int, float]]:

@@ -11,27 +11,52 @@ exactly this shrinking of the model.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.lattice.ops import normalize_log_probs
 from repro.lattice.states import StateSpace
 
-__all__ = ["PruneResult", "prune_by_mass", "prune_below"]
+__all__ = ["PruneStats", "PruneResult", "prune_by_mass", "prune_below"]
 
 
 @dataclass(frozen=True)
-class PruneResult:
-    """Outcome of a pruning pass."""
+class PruneStats:
+    """Outcome of a pruning pass (serial or distributed).
 
-    space: StateSpace
+    The serial kernels (:func:`prune_by_mass`, :func:`prune_below`)
+    attach the surviving :class:`StateSpace` as ``space``; distributed
+    and backend prunes mutate in place and leave ``space`` as ``None``.
+    """
+
     kept_states: int
     dropped_states: int
     dropped_mass: float  # posterior mass removed (pre-renormalisation)
+    space: Optional[StateSpace] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PruneStats(kept={self.kept_states}, dropped={self.dropped_states}, "
+            f"mass={self.dropped_mass:.3g})"
+        )
 
 
-def prune_by_mass(space: StateSpace, epsilon: float) -> PruneResult:
+def __getattr__(name: str):
+    if name == "PruneResult":
+        warnings.warn(
+            "PruneResult is deprecated; use repro.lattice.PruneStats "
+            "(same fields, `space` moved last and optional)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PruneStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def prune_by_mass(space: StateSpace, epsilon: float) -> PruneStats:
     """Keep the smallest high-probability set covering ``1 - epsilon`` mass.
 
     States are ranked by probability; the prefix reaching the target mass
@@ -60,7 +85,7 @@ def prune_by_mass(space: StateSpace, epsilon: float) -> PruneResult:
         space.masks[keep_idx],
         normalize_log_probs(space.log_probs[keep_idx]),
     )
-    return PruneResult(
+    return PruneStats(
         space=new_space,
         kept_states=int(keep_idx.size),
         dropped_states=int(p.size - keep_idx.size),
@@ -68,7 +93,7 @@ def prune_by_mass(space: StateSpace, epsilon: float) -> PruneResult:
     )
 
 
-def prune_below(space: StateSpace, floor: float) -> PruneResult:
+def prune_below(space: StateSpace, floor: float) -> PruneStats:
     """Drop states with posterior probability strictly below *floor*."""
     if not 0.0 <= floor < 1.0:
         raise ValueError("floor must be in [0, 1)")
@@ -83,7 +108,7 @@ def prune_below(space: StateSpace, floor: float) -> PruneResult:
         space.masks[keep_idx],
         normalize_log_probs(space.log_probs[keep_idx]),
     )
-    return PruneResult(
+    return PruneStats(
         space=new_space,
         kept_states=int(keep_idx.size),
         dropped_states=int(p.size - keep_idx.size),

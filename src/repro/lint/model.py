@@ -140,6 +140,7 @@ DRIVER_TAGS = frozenset(
         "FlightRecorder",
         "SBGTSession",
         "DistributedLattice",
+        "PosteriorBackend",
     }
 )
 
@@ -162,6 +163,8 @@ _CONSTRUCTOR_TAGS = {
     "FlightRecorder": "FlightRecorder",
     "SBGTSession": "SBGTSession",
     "DistributedLattice": "DistributedLattice",
+    "SparsePosterior": "PosteriorBackend",
+    "ParticlePosterior": "PosteriorBackend",
     "Lock": "Lock",
     "RLock": "Lock",
     "Condition": "Lock",
@@ -213,6 +216,9 @@ _ANNOTATION_TAGS = {
     "Broadcast": "Broadcast",
     "SBGTSession": "SBGTSession",
     "DistributedLattice": "DistributedLattice",
+    "PosteriorBackend": "PosteriorBackend",
+    "SparsePosterior": "PosteriorBackend",
+    "ParticlePosterior": "PosteriorBackend",
 }
 
 

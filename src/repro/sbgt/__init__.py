@@ -13,8 +13,16 @@ operation classes the paper accelerates map onto engine primitives:
 
 :class:`SBGTSession` drives a full sequential screen with the same
 protocol and result type as the serial reference driver.
+
+Posteriors are pluggable: every consumer speaks the
+:class:`PosteriorBackend` protocol, with the dense
+:class:`DistributedLattice` as the exact implementation and
+:class:`SparsePosterior` (explicit above-floor states) and
+:class:`ParticlePosterior` (SMC cloud) as approximate implementations
+that scale past the dense 2^N wall to cohorts in the hundreds.
 """
 
+from repro.sbgt.backend import PosteriorBackend
 from repro.sbgt.config import SBGTConfig
 from repro.sbgt.distributed_lattice import DistributedLattice
 from repro.sbgt.selector import (
@@ -24,12 +32,17 @@ from repro.sbgt.selector import (
     select_lookahead_pools_distributed,
 )
 from repro.sbgt.analyzer import DistributedAnalyzer
+from repro.sbgt.particle import ParticlePosterior
 from repro.sbgt.session import SBGTSession
+from repro.sbgt.sparse import SparsePosterior
 from repro.sbgt.stepper import ScreenStepper
 
 __all__ = [
     "SBGTConfig",
+    "PosteriorBackend",
     "DistributedLattice",
+    "SparsePosterior",
+    "ParticlePosterior",
     "DistributedAnalyzer",
     "SBGTSession",
     "ScreenStepper",

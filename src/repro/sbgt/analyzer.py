@@ -1,9 +1,12 @@
-"""Distributed statistical analyses (operation class R3).
+"""Statistical analyses over a posterior backend (operation class R3).
 
 Everything a surveillance program reads off the posterior — marginals,
-classification reports, entropy, credible state sets — computed as tree
-aggregations over the distributed lattice, returning the same objects as
-the serial analyses so reports are interchangeable.
+classification reports, entropy, credible state sets — phrased against
+the :class:`~repro.sbgt.backend.PosteriorBackend` protocol, returning
+the same objects as the serial analyses so reports are interchangeable.
+On the dense lattice each read is a tree aggregation over the engine; on
+the sparse/particle backends it is driver-local NumPy — the analyzer
+cannot tell and does not care.
 """
 
 from __future__ import annotations
@@ -14,15 +17,15 @@ import numpy as np
 
 from repro.bayes.posterior import Classification, ClassificationReport
 from repro.obs.tracer import PHASE_ANALYSIS, traced
-from repro.sbgt.distributed_lattice import DistributedLattice
+from repro.sbgt.backend import PosteriorBackend
 
 __all__ = ["DistributedAnalyzer"]
 
 
 class DistributedAnalyzer:
-    """Read-only statistical views of a :class:`DistributedLattice`."""
+    """Read-only statistical views of a :class:`PosteriorBackend`."""
 
-    def __init__(self, lattice: DistributedLattice) -> None:
+    def __init__(self, lattice: PosteriorBackend) -> None:
         self.lattice = lattice
 
     def marginals(self) -> np.ndarray:

@@ -46,6 +46,26 @@ class SBGTConfig:
         ``SBGTSession.log_discarded_prior``.  A cohort whose true
         positive count exceeds the cap cannot be represented — size the
         cap from the prior (e.g. mean + several binomial sd).
+    backend:
+        Posterior representation: ``"dense"`` (the distributed lattice —
+        exact, needs an engine context, cohorts ≤ 30 dense / ≤ 64
+        restricted), ``"sparse"`` (driver-resident above-floor states —
+        exact at ``sparse_floor=0`` on its support, any cohort size), or
+        ``"particle"`` (SMC particle cloud — approximate, any cohort
+        size).
+    sparse_floor:
+        Sparse backend: drop states whose posterior probability falls
+        below this after each update (``0`` = keep everything).
+    max_states:
+        Sparse backend: cap on explicit states when seeding the support
+        from the prior's rank levels.
+    num_particles / ess_threshold:
+        Particle backend: cloud size, and the ESS fraction under which
+        the cloud resamples and rejuvenates.
+    backend_seed:
+        Particle backend: seed for the backend's own RNG stream (kept
+        separate from the screen's outcome-simulation stream so pool
+        selection noise never perturbs simulated truths).
     """
 
     num_blocks: int = 0
@@ -58,6 +78,12 @@ class SBGTConfig:
     track_entropy: bool = False
     compact_classified: bool = False
     max_positives: Optional[int] = None
+    backend: str = "dense"
+    sparse_floor: float = 1e-9
+    max_states: int = 1 << 17
+    num_particles: int = 2048
+    ess_threshold: float = 0.5
+    backend_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_blocks < 0:
@@ -72,6 +98,16 @@ class SBGTConfig:
             raise ValueError("max_stages must be >= 1")
         if self.max_positives is not None and self.max_positives < 1:
             raise ValueError("max_positives must be >= 1 when set")
+        if self.backend not in ("dense", "sparse", "particle"):
+            raise ValueError("backend must be one of: dense, sparse, particle")
+        if not 0.0 <= self.sparse_floor < 1.0:
+            raise ValueError("sparse_floor must be in [0, 1)")
+        if self.max_states < 1:
+            raise ValueError("max_states must be >= 1")
+        if self.num_particles < 2:
+            raise ValueError("num_particles must be >= 2")
+        if not 0.0 <= self.ess_threshold <= 1.0:
+            raise ValueError("ess_threshold must be in [0, 1]")
 
     def with_(self, **kwargs) -> "SBGTConfig":
         return replace(self, **kwargs)

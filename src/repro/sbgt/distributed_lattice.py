@@ -26,7 +26,7 @@ materialisation happens anyway.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.lattice.builder import enumerate_restricted_masks, product_prior_log
 from repro.lattice.partition import (
     LatticeBlock,
     block_count_distribution_partial,
+    block_count_hists_partial,
     block_down_set_partial,
     block_entropy_partial,
     block_filter_consistent,
@@ -44,13 +45,16 @@ from repro.lattice.partition import (
     block_log_mass,
     block_marginal_partial,
     block_project_out_bit,
+    block_refined_cell_partial,
     block_top_states,
     block_update,
     merge_blocks,
     partition_state_space,
 )
+from repro.lattice.prune import PruneStats
 from repro.lattice.states import StateSpace
 from repro.obs.tracer import PHASE_ANALYSIS, PHASE_LATTICE, PHASE_SELECTION, traced
+from repro.sbgt.backend import PosteriorBackend
 from repro.util.bits import popcount64
 from repro.util.numerics import log1mexp
 
@@ -61,22 +65,7 @@ def _log_add(a: float, b: float) -> float:
     return float(np.logaddexp(a, b))
 
 
-class PruneStats:
-    """Summary of one distributed pruning pass."""
-
-    def __init__(self, kept_states: int, dropped_states: int, dropped_mass: float):
-        self.kept_states = int(kept_states)
-        self.dropped_states = int(dropped_states)
-        self.dropped_mass = float(dropped_mass)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"PruneStats(kept={self.kept_states}, dropped={self.dropped_states}, "
-            f"mass={self.dropped_mass:.3g})"
-        )
-
-
-class DistributedLattice:
+class DistributedLattice(PosteriorBackend):
     """A normalised lattice model partitioned across the engine."""
 
     #: Updates between automatic lineage checkpoints.  Each Bayes update
@@ -390,6 +379,37 @@ class DistributedLattice:
         return self.rdd.tree_aggregate(
             np.zeros(pool_size + 1),
             lambda acc, b: acc + block_count_distribution_partial(b, pool_mask, pool_size, off),
+            lambda a, b: a + b,
+        )
+
+    @traced(PHASE_SELECTION, "pool_count_hists")
+    def pool_count_hists(self, candidate_masks: np.ndarray) -> np.ndarray:
+        """Positives-in-pool distribution per candidate (one aggregation)."""
+        candidates = np.asarray(candidate_masks, dtype=np.uint64)
+        max_size = int(popcount64(candidates).max()) if candidates.size else 0
+        cand_bc = self.ctx.broadcast(candidates)
+        off = self._log_offset
+        return self.rdd.tree_aggregate(
+            np.zeros((candidates.size, max_size + 1)),
+            lambda acc, b: acc + block_count_hists_partial(b, cand_bc.value, max_size, off),
+            lambda a, b: a + b,
+        )
+
+    @traced(PHASE_SELECTION, "refined_cell_masses")
+    def refined_cell_masses(
+        self, chosen: Sequence[int], candidate_masks: np.ndarray, n_cells: int
+    ) -> np.ndarray:
+        """Greedy look-ahead refined-cell masses (one aggregation)."""
+        candidates = np.asarray(candidate_masks, dtype=np.uint64)
+        chosen_t = tuple(int(c) for c in chosen)
+        cand_bc = self.ctx.broadcast(candidates)
+        off = self._log_offset
+        return self.rdd.tree_aggregate(
+            np.zeros((candidates.size, n_cells)),
+            # Defaults pin loop-varying values (B023: callers re-invoke
+            # this per greedy step, each shipping a fresh closure).
+            lambda acc, b, chosen_t=chosen_t, bc=cand_bc, k=n_cells, off=off: acc
+            + block_refined_cell_partial(b, chosen_t, bc.value, k, off),
             lambda a, b: a + b,
         )
 

@@ -1,26 +1,31 @@
 """Distributed test selection (operation class R2).
 
-Selection is a broadcast-and-reduce: the driver broadcasts the candidate
-pool table, every partition contracts its blocks against all candidates
-at once (one NumPy matrix-vector product per block), and a tree
-aggregation returns one number per candidate.  The arg-min happens at the
-driver with the identical tie-breaking as the serial rule, so distributed
-and serial screens choose the *same pools* given the same posterior —
-the property the integration tests pin down.
+Selection consumes *selection statistics* from a
+:class:`~repro.sbgt.backend.PosteriorBackend` — down-set masses,
+positives-in-pool histograms, refined-cell masses — and finishes the
+arg-min at the driver with the identical tie-breaking as the serial rule,
+so distributed and serial screens choose the *same pools* given the same
+posterior — the property the integration tests pin down.
+
+These functions are representation-agnostic: the dense lattice computes
+the statistics with broadcast-and-tree-aggregate passes, the sparse and
+particle backends with driver-local NumPy; nothing here knows which.
+Internals like the dense lattice's deferred-normalisation ``log_offset``
+stay behind the protocol.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Tuple
 
 import numpy as np
 
 from repro.halving.bha import halving_objective
 from repro.halving.lookahead import batch_balance_objective
-from repro.lattice.partition import LatticeBlock
 from repro.obs.tracer import PHASE_SELECTION, traced
-from repro.sbgt.distributed_lattice import DistributedLattice
-from repro.util.bits import popcount64
+from repro.sbgt.backend import PosteriorBackend
+from repro.util.bits import popcount_any
 
 __all__ = [
     "down_set_masses_distributed",
@@ -29,86 +34,63 @@ __all__ = [
     "select_infogain_pool_distributed",
 ]
 
+_SENTINEL = object()
+
+
+def _warn_log_offset(log_offset) -> None:
+    if log_offset is not _SENTINEL:
+        warnings.warn(
+            "the log_offset parameter is deprecated and ignored: backends "
+            "return normalised selection statistics (it will be removed "
+            "next release)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def _tie_break_order(*keys: np.ndarray) -> np.ndarray:
+    """Stable ordering by the given keys, most significant *last*.
+
+    ``np.lexsort`` semantics, but tolerant of object-dtype key arrays
+    (arbitrary-precision pool masks from >64-individual cohorts, which
+    lexsort rejects).
+    """
+    try:
+        return np.lexsort(keys)
+    except TypeError:
+        sig = list(reversed(keys))
+        idx = sorted(range(len(keys[0])), key=lambda i: tuple(k[i] for k in sig))
+        return np.asarray(idx, dtype=np.intp)
+
 
 def down_set_masses_distributed(
-    lattice: DistributedLattice, pool_masks: np.ndarray
+    posterior: PosteriorBackend, pool_masks: np.ndarray, log_offset=_SENTINEL
 ) -> np.ndarray:
     """Down-set mass of each candidate pool (already normalised)."""
-    return lattice.down_set_masses(pool_masks)
+    _warn_log_offset(log_offset)
+    return posterior.down_set_masses(pool_masks)
 
 
 @traced(PHASE_SELECTION, "select_halving")
 def select_halving_pool_distributed(
-    lattice: DistributedLattice, pool_masks: np.ndarray
+    posterior: PosteriorBackend, pool_masks: np.ndarray, log_offset=_SENTINEL
 ) -> Tuple[int, float, float]:
-    """Distributed Bayesian Halving Algorithm.
+    """Bayesian Halving Algorithm over a posterior backend.
 
     Returns ``(pool_mask, down_set_mass, objective_gap)`` with the same
     deterministic (gap, pool size, mask) tie-breaking as the serial
     :func:`repro.halving.bha.select_halving_pool`.
     """
-    pools = np.asarray(pool_masks, dtype=np.uint64)
+    _warn_log_offset(log_offset)
+    pools = np.asarray(pool_masks)
     if pools.size == 0:
         raise ValueError("no candidate pools supplied")
-    masses = lattice.down_set_masses(pools)
+    masses = posterior.down_set_masses(pools)
     gaps = halving_objective(masses)
-    sizes = popcount64(pools)
-    order = np.lexsort((pools, sizes, gaps))
+    sizes = popcount_any(pools)
+    order = _tie_break_order(pools, sizes, gaps)
     best = int(order[0])
     return int(pools[best]), float(masses[best]), float(gaps[best])
-
-
-def _block_refined_cell_masses(
-    block: LatticeBlock,
-    chosen: Tuple[int, ...],
-    candidates: np.ndarray,
-    n_cells: int,
-    log_offset: float = 0.0,
-) -> np.ndarray:
-    """Per-candidate refined-cell masses for one block.
-
-    Returns an (n_candidates, n_cells) array: row ``c`` holds the linear
-    mass of every cell of the partition induced by ``chosen + [cand_c]``.
-    The chosen-pool cell index is recomputed per block (cheap: the batch
-    is at most a handful of pools) so no per-state state needs shuffling.
-    ``log_offset`` is the lattice's deferred-normalisation scalar.
-    """
-    if block.size == 0:
-        return np.zeros((candidates.size, n_cells))
-    p = np.exp(block.log_probs - log_offset) if log_offset else np.exp(block.log_probs)
-    cell_idx = np.zeros(block.size, dtype=np.int64)
-    for j, pool in enumerate(chosen):
-        dirty = (block.masks & np.uint64(pool)) != np.uint64(0)
-        cell_idx |= dirty.astype(np.int64) << j
-    out = np.empty((candidates.size, n_cells))
-    shift = len(chosen)
-    for c, cand in enumerate(candidates):
-        dirty = (block.masks & cand) != np.uint64(0)
-        refined = cell_idx | (dirty.astype(np.int64) << shift)
-        out[c] = np.bincount(refined, weights=p, minlength=n_cells)
-    return out
-
-
-def _block_count_hists(
-    block: LatticeBlock, candidates: np.ndarray, max_size: int, log_offset: float = 0.0
-) -> np.ndarray:
-    """Per-candidate histograms of positives-in-pool for one block.
-
-    Row ``c`` holds the linear mass of states placing ``k`` positives in
-    candidate pool ``c`` (k = 0..max_size; columns beyond a pool's size
-    stay zero).  ``log_offset`` is the lattice's deferred-normalisation
-    scalar.
-    """
-    out = np.zeros((candidates.size, max_size + 1))
-    if block.size == 0:
-        return out
-    p = np.exp(block.log_probs - log_offset) if log_offset else np.exp(block.log_probs)
-    from repro.util.bits import intersect_count
-
-    for c, cand in enumerate(candidates):
-        counts = intersect_count(block.masks, int(cand))
-        out[c, : counts.max() + 1] = np.bincount(counts, weights=p)
-    return out
 
 
 def _binary_entropy(p: np.ndarray) -> np.ndarray:
@@ -118,32 +100,26 @@ def _binary_entropy(p: np.ndarray) -> np.ndarray:
 
 @traced(PHASE_SELECTION, "select_infogain")
 def select_infogain_pool_distributed(
-    lattice: DistributedLattice, candidate_masks: np.ndarray, model
+    posterior: PosteriorBackend, candidate_masks: np.ndarray, model, log_offset=_SENTINEL
 ) -> Tuple[int, float]:
-    """Distributed mutual-information pool selection (binary models).
+    """Mutual-information pool selection (binary models).
 
-    One aggregation computes every candidate's positives-in-pool
-    distribution; the driver finishes with the closed-form binary mutual
-    information, matching
-    :class:`repro.halving.policy.InformationGainPolicy` choice for
-    choice.
+    One :meth:`~repro.sbgt.backend.PosteriorBackend.pool_count_hists`
+    call yields every candidate's positives-in-pool distribution; the
+    driver finishes with the closed-form binary mutual information,
+    matching :class:`repro.halving.policy.InformationGainPolicy` choice
+    for choice.
     """
+    _warn_log_offset(log_offset)
     if not getattr(model, "binary", False):
         raise ValueError("information-gain selection requires a binary response model")
-    candidates = np.asarray(candidate_masks, dtype=np.uint64)
+    candidates = np.asarray(candidate_masks)
     if candidates.size == 0:
         raise ValueError("no candidate pools supplied")
-    sizes = popcount64(candidates)
-    max_size = int(sizes.max())
-    cand_bc = lattice.ctx.broadcast(candidates)
-    off = lattice.log_offset
-    hists = lattice.rdd.tree_aggregate(
-        np.zeros((candidates.size, max_size + 1)),
-        lambda acc, b: acc + _block_count_hists(b, cand_bc.value, max_size, off),
-        lambda a, b: a + b,
-    )
+    sizes = popcount_any(candidates)
+    hists = posterior.pool_count_hists(candidates)
     best_pool, best_info = None, -np.inf
-    order = np.lexsort((candidates, sizes))  # deterministic scan, small first
+    order = _tie_break_order(candidates, sizes)  # deterministic scan, small first
     for c_i in order:
         pool_size = int(sizes[c_i])
         pk = hists[c_i, : pool_size + 1]
@@ -160,40 +136,29 @@ def select_infogain_pool_distributed(
 
 @traced(PHASE_SELECTION, "select_lookahead")
 def select_lookahead_pools_distributed(
-    lattice: DistributedLattice, candidate_masks: np.ndarray, s: int
+    posterior: PosteriorBackend, candidate_masks: np.ndarray, s: int, log_offset=_SENTINEL
 ) -> Tuple[List[int], float]:
-    """Distributed greedy s-pool look-ahead batch selection.
+    """Greedy s-pool look-ahead batch selection over a posterior backend.
 
-    One aggregation per greedy step: every step broadcasts the pools
-    chosen so far plus the candidate table and reduces the per-candidate
-    refined-cell masses; the driver scores the balance objective and
+    One :meth:`~repro.sbgt.backend.PosteriorBackend.refined_cell_masses`
+    call per greedy step; the driver scores the balance objective and
     appends the winner (same deterministic scan order as the serial
     :func:`repro.halving.lookahead.select_lookahead_pools`).
     """
+    _warn_log_offset(log_offset)
     if s < 1:
         raise ValueError("s must be >= 1")
-    candidates = np.asarray(candidate_masks, dtype=np.uint64)
+    candidates = np.asarray(candidate_masks)
     if candidates.size == 0:
         raise ValueError("no candidate pools supplied")
-    sizes = popcount64(candidates)
-    scan_order = np.lexsort((candidates, sizes))
+    sizes = popcount_any(candidates)
+    scan_order = _tie_break_order(candidates, sizes)
 
     chosen: List[int] = []
     best_obj = np.inf
     for j in range(min(s, candidates.size)):
         n_cells = 1 << (j + 1)
-        chosen_t = tuple(chosen)
-        cand_bc = lattice.ctx.broadcast(candidates)
-        off = lattice.log_offset
-
-        masses = lattice.rdd.tree_aggregate(
-            np.zeros((candidates.size, n_cells)),
-            # Defaults pin this iteration's values (B023: the loop rebinds
-            # these names before the next aggregation ships the closure).
-            lambda acc, b, chosen_t=chosen_t, bc=cand_bc, k=n_cells, off=off: acc
-            + _block_refined_cell_masses(b, chosen_t, bc.value, k, off),
-            lambda a, b: a + b,
-        )
+        masses = posterior.refined_cell_masses(chosen, candidates, n_cells)
         best = None
         for c_i in scan_order:
             pool = int(candidates[c_i])

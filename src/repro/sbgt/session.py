@@ -48,6 +48,7 @@ from repro.sbgt.selector import (
 )
 from repro.simulate.population import Cohort, make_cohort
 from repro.simulate.testing import TestLab
+from repro.util.bits import as_mask_array
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.classify import ScreenResult
 from repro.workflows.options import ScreenOptions, resolve_screen_options
@@ -60,7 +61,7 @@ class SBGTSession:
 
     def __init__(
         self,
-        ctx: Context,
+        ctx: Optional[Context],
         prior: PriorSpec,
         model: ResponseModel,
         config: Optional[SBGTConfig] = None,
@@ -69,14 +70,25 @@ class SBGTSession:
         self.prior = prior
         self.model = model
         self.config = config or SBGTConfig()
+        if self.config.backend == "dense" and ctx is None:
+            raise ValueError("the dense backend needs an engine Context (ctx)")
         #: Log prior mass outside a rank-restricted support (−inf = dense).
         self.log_discarded_prior = -np.inf
-        if self.config.max_positives is not None:
-            self.lattice, self.log_discarded_prior = DistributedLattice.from_restricted_prior(
-                ctx, prior, self.config.max_positives, self.config.num_blocks
-            )
-        else:
-            self.lattice = DistributedLattice.from_prior(ctx, prior, self.config.num_blocks)
+        from repro.workflows.payloads import make_posterior
+
+        self.lattice = make_posterior(
+            self.config.backend,
+            prior=prior,
+            ctx=ctx,
+            num_blocks=self.config.num_blocks,
+            max_positives=self.config.max_positives,
+            sparse_floor=self.config.sparse_floor,
+            max_states=self.config.max_states,
+            num_particles=self.config.num_particles,
+            ess_threshold=self.config.ess_threshold,
+            seed=self.config.backend_seed,
+        )
+        self.log_discarded_prior = getattr(self.lattice, "log_discarded_prior", -np.inf)
         self.analyzer = DistributedAnalyzer(self.lattice)
         self.log = EvidenceLog()
         self._stage = 0
@@ -235,17 +247,17 @@ class SBGTSession:
         where the policy's math touches the lattice."""
         if isinstance(policy, LookaheadPolicy):
             cands = policy.candidates.generate(self.marginals(), eligible_mask)
-            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            compact = as_mask_array([self._to_compact_mask(int(c)) for c in cands])
             pools, _ = select_lookahead_pools_distributed(self.lattice, compact, policy.depth)
             return [self._to_original_mask(p) for p in pools]
         if isinstance(policy, BHAPolicy):
             cands = policy.candidates.generate(self.marginals(), eligible_mask)
-            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            compact = as_mask_array([self._to_compact_mask(int(c)) for c in cands])
             pool, _, _ = select_halving_pool_distributed(self.lattice, compact)
             return [self._to_original_mask(pool)]
         if isinstance(policy, InformationGainPolicy):
             cands = policy.candidates.generate(self.marginals(), eligible_mask)
-            compact = np.array([self._to_compact_mask(int(c)) for c in cands], dtype=np.uint64)
+            compact = as_mask_array([self._to_compact_mask(int(c)) for c in cands])
             pool, _ = select_infogain_pool_distributed(self.lattice, compact, self.model)
             return [self._to_original_mask(pool)]
         # Lattice-free baselines (individual, Dorfman, custom): they see
@@ -355,6 +367,8 @@ class SBGTSession:
         """
         from repro.lattice.serialize import load_posterior
 
+        if config is not None and config.backend != "dense":
+            raise ValueError("checkpoint restore is only supported for the dense backend")
         snapshot = load_posterior(path, model)
         if snapshot.space.n_items != prior.n_items:
             raise ValueError("checkpoint cohort size does not match the prior")

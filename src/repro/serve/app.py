@@ -89,10 +89,17 @@ class ServeConfig:
     flight_capacity: int = 4096
     #: Ops slower than this land in GET /debug/slow.
     slow_threshold_s: float = 0.1
+    #: Posterior backend applied to requests that don't name one.
+    default_backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.default_backend not in ("dense", "sparse", "particle"):
+            raise ValueError(
+                "default_backend must be dense/sparse/particle, "
+                f"got {self.default_backend!r}"
+            )
         if self.engine_mode not in ("serial", "threads", "processes"):
             raise ValueError(
                 f"engine_mode must be serial/threads/processes, got {self.engine_mode!r}"
@@ -372,15 +379,29 @@ class ReproServer:
             return "/debug/chrome", json_response(chrome_trace(records)), "computed"
         raise HttpError(404, f"no such debug endpoint: /debug/{'/'.join(rest)}")
 
+    def _with_default_backend(self, payload: Any) -> Any:
+        """Fill in the server's default backend when the body omits one.
+
+        With the stock ``dense`` default this is the identity, so
+        payload bytes (and cache keys) are untouched.
+        """
+        if (
+            self.config.default_backend != "dense"
+            and isinstance(payload, dict)
+            and "backend" not in payload
+        ):
+            return {**payload, "backend": self.config.default_backend}
+        return payload
+
     async def _calculator(self, request: Request) -> Tuple[str, Response, str]:
-        req = CalculatorRequest.from_payload(request.json())
+        req = CalculatorRequest.from_payload(self._with_default_backend(request.json()))
         payload, source = await self._cached_batched(
             "/calculator", req.key(), req.execute
         )
         return "/calculator", json_response(payload), source
 
     async def _screen(self, request: Request) -> Tuple[str, Response, str]:
-        req = ScreenRequest.from_payload(request.json())
+        req = ScreenRequest.from_payload(self._with_default_backend(request.json()))
         ctx = self.ctx
         lock = self._engine_lock
 
@@ -402,7 +423,7 @@ class ReproServer:
         return serve_session
 
     async def _session_create(self, request: Request) -> Tuple[str, Response, str]:
-        req = SessionCreateRequest.from_payload(request.json())
+        req = SessionCreateRequest.from_payload(self._with_default_backend(request.json()))
         registry, lock = self.sessions, self._engine_lock
 
         def thunk() -> ServeSession:

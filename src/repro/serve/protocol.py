@@ -20,6 +20,7 @@ from repro.halving.policy import SelectionPolicy
 from repro.sbgt.config import SBGTConfig
 from repro.simulate.scenario import SCENARIOS, get_scenario
 from repro.workflows.payloads import (
+    BACKEND_HELP,
     calculator_payload,
     make_model,
     make_policy,
@@ -34,10 +35,15 @@ __all__ = [
     "ScreenRequest",
     "SessionCreateRequest",
     "MAX_COHORT",
+    "MAX_COHORT_APPROX",
 ]
 
 #: Dense-lattice ceiling shared with the CLI's ``--cohort`` bound.
 MAX_COHORT = 24
+
+#: Cohort ceiling for the approximate (sparse/particle) backends, which
+#: never materialize the 2^N lattice.
+MAX_COHORT_APPROX = 1024
 
 
 class BadRequest(ValueError):
@@ -126,6 +132,20 @@ def _check_policy(name: Any) -> str:
     return name
 
 
+def _check_backend(name: Any) -> str:
+    _require(isinstance(name, str), "backend must be a string")
+    _require(name in ("dense", "sparse", "particle"),
+             f"unknown posterior backend {name!r} (try: {BACKEND_HELP})")
+    return name
+
+
+def _check_cohort(cohort: int, backend: str) -> int:
+    limit = MAX_COHORT if backend == "dense" else MAX_COHORT_APPROX
+    hint = "dense lattice" if backend == "dense" else f"{backend} backend"
+    _require(1 <= cohort <= limit, f"cohort must be in [1, {limit}] ({hint})")
+    return cohort
+
+
 @dataclass(frozen=True)
 class CalculatorRequest:
     """``POST /calculator`` — the pool/don't-pool decision table."""
@@ -135,18 +155,19 @@ class CalculatorRequest:
     replications: int = 15
     policy: str = "bha"
     seed: int = 0
+    backend: str = "dense"
     assay: AssaySpec = AssaySpec()
 
     _FIELDS = frozenset(
-        {"cohort", "prevalences", "replications", "policy", "seed", "assay"}
+        {"cohort", "prevalences", "replications", "policy", "seed", "backend", "assay"}
     )
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "CalculatorRequest":
         _require(isinstance(payload, Mapping), "request body must be a JSON object")
         _check_keys(payload, cls._FIELDS, "calculator")
-        cohort = _get_int(payload, "cohort", 12)
-        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        backend = _check_backend(payload.get("backend", "dense"))
+        cohort = _check_cohort(_get_int(payload, "cohort", 12), backend)
         prevalences = payload.get("prevalences", list(cls().prevalences))
         _require(
             isinstance(prevalences, (list, tuple)) and len(prevalences) > 0,
@@ -166,11 +187,12 @@ class CalculatorRequest:
             replications=replications,
             policy=_check_policy(payload.get("policy", "bha")),
             seed=_get_int(payload, "seed", 0),
+            backend=backend,
             assay=AssaySpec.from_payload(payload.get("assay")),
         )
 
     def canonical(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "cohort": self.cohort,
             "prevalences": list(self.prevalences),
             "replications": self.replications,
@@ -178,6 +200,10 @@ class CalculatorRequest:
             "seed": self.seed,
             "assay": self.assay.canonical(),
         }
+        # Keep the dense default byte-identical to pre-backend payloads.
+        if self.backend != "dense":
+            out["backend"] = self.backend
+        return out
 
     def key(self) -> str:
         return request_digest("calculator", self.canonical())
@@ -195,6 +221,7 @@ class CalculatorRequest:
             cohort_size=self.cohort,
             replications=self.replications,
             rng=self.seed,
+            backend=self.backend,
         )
         return calculator_payload(entries, request=self.canonical())
 
@@ -219,19 +246,20 @@ class ScreenRequest:
     seed: int = 0
     max_stages: int = 60
     compact: bool = False
+    backend: str = "dense"
     assay: AssaySpec = AssaySpec()
 
     _FIELDS = frozenset(
         {"cohort", "prevalence", "scenario", "policy", "seed", "max_stages",
-         "compact", "assay"}
+         "compact", "backend", "assay"}
     )
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "ScreenRequest":
         _require(isinstance(payload, Mapping), "request body must be a JSON object")
         _check_keys(payload, cls._FIELDS, "screen")
-        cohort = _get_int(payload, "cohort", 16)
-        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        backend = _check_backend(payload.get("backend", "dense"))
+        cohort = _check_cohort(_get_int(payload, "cohort", 16), backend)
         prevalence = _get_float(payload, "prevalence", 0.02)
         _require(0.0 < prevalence < 1.0, "prevalence must be in (0, 1)")
         max_stages = _get_int(payload, "max_stages", 60)
@@ -244,6 +272,7 @@ class ScreenRequest:
             seed=_get_int(payload, "seed", 0),
             max_stages=max_stages,
             compact=_get_bool(payload, "compact", False),
+            backend=backend,
             assay=AssaySpec.from_payload(payload.get("assay")),
         )
 
@@ -255,6 +284,9 @@ class ScreenRequest:
             "max_stages": self.max_stages,
             "compact": self.compact,
         }
+        # Keep the dense default byte-identical to pre-backend payloads.
+        if self.backend != "dense":
+            out["backend"] = self.backend
         if self.scenario is not None:
             out["scenario"] = self.scenario
         else:
@@ -274,11 +306,14 @@ class ScreenRequest:
             model = self.assay.build()
         policy = make_policy(self.policy)
         config = SBGTConfig(max_stages=self.max_stages,
-                            compact_classified=self.compact)
+                            compact_classified=self.compact,
+                            backend=self.backend)
         return prior, model, policy, config
 
     def execute(self, ctx) -> Dict[str, Any]:
-        """Run the distributed screen on the server's shared context."""
+        """Run the screen: on the shared engine context for the dense
+        backend, driver-local for the approximate backends (*ctx* may
+        then be ``None``)."""
         from repro.sbgt.session import SBGTSession
 
         prior, model, policy, config = self.build()
@@ -307,19 +342,20 @@ class SessionCreateRequest:
     compact: bool = False
     positive_threshold: float = 0.99
     negative_threshold: float = 0.01
+    backend: str = "dense"
     assay: AssaySpec = AssaySpec()
 
     _FIELDS = frozenset(
         {"cohort", "prevalence", "scenario", "policy", "seed", "max_stages",
-         "compact", "positive_threshold", "negative_threshold", "assay"}
+         "compact", "positive_threshold", "negative_threshold", "backend", "assay"}
     )
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "SessionCreateRequest":
         _require(isinstance(payload, Mapping), "request body must be a JSON object")
         _check_keys(payload, cls._FIELDS, "session")
-        cohort = _get_int(payload, "cohort", 16)
-        _require(1 <= cohort <= MAX_COHORT, f"cohort must be in [1, {MAX_COHORT}]")
+        backend = _check_backend(payload.get("backend", "dense"))
+        cohort = _check_cohort(_get_int(payload, "cohort", 16), backend)
         prevalence = _get_float(payload, "prevalence", 0.02)
         _require(0.0 < prevalence < 1.0, "prevalence must be in (0, 1)")
         max_stages = _get_int(payload, "max_stages", 60)
@@ -338,6 +374,7 @@ class SessionCreateRequest:
             compact=_get_bool(payload, "compact", False),
             positive_threshold=pos,
             negative_threshold=neg,
+            backend=backend,
             assay=AssaySpec.from_payload(payload.get("assay")),
         )
 
@@ -351,6 +388,9 @@ class SessionCreateRequest:
             "positive_threshold": self.positive_threshold,
             "negative_threshold": self.negative_threshold,
         }
+        # Keep the dense default byte-identical to pre-backend payloads.
+        if self.backend != "dense":
+            out["backend"] = self.backend
         if self.scenario is not None:
             out["scenario"] = self.scenario
         else:
@@ -370,5 +410,6 @@ class SessionCreateRequest:
             compact_classified=self.compact,
             positive_threshold=self.positive_threshold,
             negative_threshold=self.negative_threshold,
+            backend=self.backend,
         )
         return prior, model, policy, config

@@ -17,7 +17,9 @@ __all__ = [
     "MAX_ITEMS",
     "mask_from_indices",
     "indices_from_mask",
+    "as_mask_array",
     "popcount64",
+    "popcount_any",
     "intersect_count",
     "is_subset",
     "bit_column",
@@ -65,6 +67,29 @@ def indices_from_mask(mask: int) -> list[int]:
         mask >>= 1
         pos += 1
     return out
+
+
+def as_mask_array(masks: Iterable[int]) -> np.ndarray:
+    """Pack masks into a NumPy array, widening past 64 bits when needed.
+
+    Cohorts up to :data:`MAX_ITEMS` individuals pack into ``uint64``
+    (the fast path every lattice kernel assumes); larger cohorts — the
+    approximate posterior backends go well past 64 — fall back to an
+    ``object`` array of Python ints, which keeps exact bitwise semantics
+    at the cost of vectorisation.
+    """
+    vals = [int(m) for m in masks]
+    if all(0 <= v < (1 << MAX_ITEMS) for v in vals):
+        return np.asarray(vals, dtype=np.uint64)
+    return np.asarray(vals, dtype=object)
+
+
+def popcount_any(masks: np.ndarray) -> np.ndarray:
+    """Population count accepting uint64 *or* object (big-int) arrays."""
+    arr = np.asarray(masks)
+    if arr.dtype == object:
+        return np.asarray([int(m).bit_count() for m in arr], dtype=np.int64)
+    return popcount64(arr)
 
 
 def _popcount64_swar(masks: np.ndarray) -> np.ndarray:

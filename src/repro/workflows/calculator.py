@@ -26,6 +26,27 @@ from repro.workflows.options import ScreenOptions
 __all__ = ["CalculatorEntry", "pooling_calculator", "format_calculator_table"]
 
 
+def _replicate(backend, prior, model, policy, gen, options):
+    """One screen replication on the requested posterior backend."""
+    if backend == "dense":
+        return run_screen(prior, model, policy, rng=gen, options=options)
+    # Deferred import: repro.sbgt reaches back into workflows for payloads.
+    from repro.sbgt.config import SBGTConfig
+    from repro.sbgt.session import SBGTSession
+
+    config = SBGTConfig(
+        backend=backend,
+        max_stages=options.max_stages,
+        positive_threshold=options.positive_threshold,
+        negative_threshold=options.negative_threshold,
+    )
+    session = SBGTSession(None, prior, model, config)
+    try:
+        return session.run_screen(policy, rng=gen)
+    finally:
+        session.close()
+
+
 @dataclass(frozen=True)
 class CalculatorEntry:
     """Monte-Carlo summary for one prevalence level."""
@@ -59,6 +80,7 @@ def pooling_calculator(
     rng: RngLike = None,
     max_stages: int = 50,
     positive_threshold: float = 0.99,
+    backend: str = "dense",
 ) -> List[CalculatorEntry]:
     """Tabulate expected cost/quality per prevalence level.
 
@@ -66,6 +88,11 @@ def pooling_calculator(
     set a decade below the prior risk (capped at 1%), so a cohort is
     never "cleared" by its prior alone — evidence from at least one
     pooled test is always required.
+
+    ``backend`` picks the posterior representation per replication:
+    ``"dense"`` runs the serial exact reference; ``"sparse"`` /
+    ``"particle"`` run driver-local approximate screens, which is what
+    makes cohorts beyond the dense 2^N wall tabulable.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -76,12 +103,13 @@ def pooling_calculator(
         negative_threshold = min(0.01, float(prev) / 10.0)
         tpis, stages, accs = [], [], []
         for _ in range(replications):
-            res = run_screen(
+            res = _replicate(
+                backend,
                 prior,
                 model,
                 policy_factory(),
-                rng=gen,
-                options=ScreenOptions(
+                gen,
+                ScreenOptions(
                     max_stages=max_stages,
                     positive_threshold=positive_threshold,
                     negative_threshold=negative_threshold,

@@ -41,6 +41,7 @@ from repro.workflows.classify import ScreenResult
 __all__ = [
     "make_policy",
     "make_model",
+    "make_posterior",
     "canonical_json",
     "request_digest",
     "screen_payload",
@@ -50,6 +51,7 @@ __all__ = [
 ]
 
 POLICY_HELP = "bha, lookahead-2, infogain, dorfman-4, array-3x4, hybrid, individual"
+BACKEND_HELP = "dense, sparse, particle"
 
 
 def make_policy(name: str) -> SelectionPolicy:
@@ -95,6 +97,60 @@ def make_model(
     if assay == "dilution":
         return DilutionErrorModel(sensitivity, specificity, dilution)
     raise ValueError(f"unknown assay {assay!r} (choose perfect, binary, dilution)")
+
+
+def make_posterior(
+    backend: str = "dense",
+    *,
+    prior,
+    ctx=None,
+    num_blocks: int = 0,
+    max_positives: Optional[int] = None,
+    sparse_floor: float = 1e-9,
+    max_states: int = 1 << 17,
+    num_particles: int = 2048,
+    ess_threshold: float = 0.5,
+    seed: int = 0,
+):
+    """Build a :class:`~repro.sbgt.backend.PosteriorBackend` by name.
+
+    The posterior twin of :func:`make_policy` / :func:`make_model`:
+    ``"dense"`` is the distributed lattice (needs an engine ``ctx``),
+    ``"sparse"`` the driver-resident above-floor representation,
+    ``"particle"`` the SMC cloud.  Every returned backend carries a
+    ``log_discarded_prior`` attribute (−inf when the support is exact).
+    Raises :class:`ValueError` for an unknown name (callers map this to
+    an argparse error or an HTTP 400 as appropriate).
+    """
+    if backend == "dense":
+        # Deferred imports: repro.sbgt pulls this module back in for the
+        # session's backend dispatch.
+        from repro.sbgt.distributed_lattice import DistributedLattice
+
+        if ctx is None:
+            raise ValueError("the dense backend needs an engine Context (ctx)")
+        if max_positives is not None:
+            lattice, log_disc = DistributedLattice.from_restricted_prior(
+                ctx, prior, max_positives, num_blocks
+            )
+        else:
+            lattice = DistributedLattice.from_prior(ctx, prior, num_blocks)
+            log_disc = float("-inf")
+        lattice.log_discarded_prior = log_disc
+        return lattice
+    if backend == "sparse":
+        from repro.sbgt.sparse import SparsePosterior
+
+        return SparsePosterior.from_prior(
+            prior, floor=sparse_floor, max_states=max_states, max_positives=max_positives
+        )
+    if backend == "particle":
+        from repro.sbgt.particle import ParticlePosterior
+
+        return ParticlePosterior(
+            prior, num_particles=num_particles, rng=seed, ess_threshold=ess_threshold
+        )
+    raise ValueError(f"unknown posterior backend {backend!r} (try: {BACKEND_HELP})")
 
 
 # ----------------------------------------------------------------------
