@@ -555,6 +555,15 @@ def engine_bench() -> dict:
         "accuracy": round(res.accuracy, 4),
     }
     out["posterior_backends"] = backends
+
+    # Surveillance allocators: the seeded bandit-vs-uniform comparison
+    # (the 1.2x gate itself is asserted by bench_surveil.py in CI).
+    try:
+        from bench_surveil import compare_allocators
+    except ImportError:  # imported as benchmarks.run_experiments
+        from benchmarks.bench_surveil import compare_allocators
+
+    out["surveil"] = compare_allocators()
     return out
 
 

@@ -5,6 +5,8 @@ Commands covering the workflows a surveillance program actually runs:
 * ``screen``       — classify one simulated cohort and print the report;
 * ``calculator``   — the pool/don't-pool decision table over prevalences;
 * ``surveillance`` — a multi-day campaign over an SIR epidemic wave;
+* ``surveil``      — a multi-site campaign with Thompson-sampling
+  budget allocation (:mod:`repro.surveil`);
 * ``scenarios``    — list the named (prior, assay) presets;
 * ``serve``        — the asyncio JSON API server (``repro.serve``);
 * ``trace``        — summarize a JSONL trace captured with ``--trace``
@@ -40,6 +42,7 @@ from repro.workflows.payloads import (
     make_model,
     make_policy,
 )
+from repro.surveil import ALLOCATOR_HELP, FLEET_KINDS
 from repro.workflows.surveillance import run_surveillance
 
 __all__ = ["main", "build_parser"]
@@ -137,7 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_surv.add_argument("--gamma", type=float, default=0.10, help="SIR recovery rate")
     p_surv.add_argument("--i0", type=float, default=0.005, help="initial prevalence")
     p_surv.add_argument("--seed", type=int, default=0)
+    _add_backend_arg(p_surv)
     _add_assay_args(p_surv)
+
+    p_sv = sub.add_parser(
+        "surveil", help="multi-site campaign with bandit budget allocation"
+    )
+    p_sv.add_argument("--sites", type=int, default=6, help="fleet size (<= 64)")
+    p_sv.add_argument("--cohort", type=int, default=10, help="cohort size per site")
+    p_sv.add_argument("--rounds", type=int, default=8)
+    p_sv.add_argument("--budget", type=int, default=6,
+                      help="screens per round across the fleet")
+    p_sv.add_argument("--allocator", default="thompson",
+                      help=f"budget allocator ({ALLOCATOR_HELP})")
+    p_sv.add_argument("--fleet", choices=list(FLEET_KINDS), default="heterogeneous",
+                      help="fleet generator (site mix and prevalence dynamics)")
+    p_sv.add_argument("--policy", type=_make_policy, default="bha",
+                      help=f"selection policy ({POLICY_HELP})")
+    p_sv.add_argument("--seed", type=int, default=0)
+    p_sv.add_argument("--max-stages", type=int, default=40)
+    p_sv.add_argument("--workers", type=int, default=4)
+    p_sv.add_argument("--chrome", metavar="PATH", default=None,
+                      help="export a Chrome trace-event JSON of the campaign "
+                           "(open in chrome://tracing or Perfetto)")
+    p_sv.add_argument("--json", action="store_true",
+                      help="emit the API payload (same shape as POST /surveil)")
+    _add_backend_arg(p_sv)
+    _add_assay_args(p_sv)
+    # Match the server-side default so `repro surveil --json` with no
+    # flags is byte-identical to an empty-body POST /surveil.
+    p_sv.set_defaults(assay="binary")
 
     sub.add_parser("scenarios", help="list named scenario presets")
 
@@ -338,7 +370,7 @@ def _cmd_surveillance(args: argparse.Namespace) -> int:
     prevalence = sir_prevalence(args.days, args.beta, args.gamma, args.i0)
     campaign = run_surveillance(
         model, BHAPolicy, days=args.days, cohort_size=args.cohort,
-        rng=args.seed, prevalence=prevalence,
+        rng=args.seed, prevalence=prevalence, backend=args.backend,
     )
     rows = [
         [d.day, f"{d.prevalence:.1%}", d.result.efficiency.num_tests,
@@ -352,6 +384,73 @@ def _cmd_surveillance(args: argparse.Namespace) -> int:
     print(f"\ntotals: {campaign.total_tests} tests / {campaign.total_individuals} "
           f"individuals = {campaign.overall_tests_per_individual:.2f} tests/individual; "
           f"{campaign.detected_positives()}/{campaign.true_positives_present()} positives found")
+    return 0
+
+
+def _cmd_surveil(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import BadRequest, SurveilRequest
+
+    body = {
+        "sites": args.sites,
+        "cohort": args.cohort,
+        "rounds": args.rounds,
+        "budget": args.budget,
+        "allocator": args.allocator,
+        "policy": _policy_spec(args.policy),
+        "fleet": args.fleet,
+        "seed": args.seed,
+        "max_stages": args.max_stages,
+        "backend": args.backend,
+        "assay": _assay_spec(args).canonical(),
+    }
+    try:
+        request = SurveilRequest.from_payload(body)
+    except BadRequest as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with Context(mode="threads", parallelism=args.workers) as ctx:
+        recorder = ctx.flight_recorder
+        payload = request.execute(ctx)
+        if args.chrome:
+            from repro.obs import chrome_trace
+
+            records = recorder.events(limit=recorder.capacity) if recorder else []
+            try:
+                with open(args.chrome, "w", encoding="utf-8") as fh:
+                    json.dump(chrome_trace(records, title="surveil"), fh)
+            except OSError as exc:
+                print(f"error: cannot write trace to {args.chrome}: {exc}",
+                      file=sys.stderr)
+            else:
+                print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+    if args.json:
+        print(dump_payload(payload), end="")
+        return 0
+    summary = payload["summary"]
+    rows = [
+        [r["round"], " ".join(str(a) for a in r["allocations"]),
+         r["screens"], r["tests"], r["cases"]]
+        for r in payload["rounds"]
+    ]
+    print(format_table(
+        ["round", "allocations", "screens", "tests", "cases"], rows,
+        title=f"Surveil campaign ({summary['allocator']} allocator)",
+    ))
+    site_rows = [
+        [s["name"], s["kind"], f"{s['prevalence']:.1%}", s["screens"],
+         s["tests"], s["cases"], f"{s['belief']['mean']:.1%}"]
+        for s in payload["sites"]
+    ]
+    print()
+    print(format_table(
+        ["site", "kind", "prevalence", "screens", "tests", "cases", "belief"],
+        site_rows, title="Sites",
+    ))
+    print(f"\ntotals: {summary['total_cases']} cases in {summary['total_screens']} "
+          f"screens ({summary['cases_per_screen']:.2f} cases/screen), "
+          f"{summary['total_tests']} tests "
+          f"({summary['tests_per_case']:.1f} tests/case); "
+          f"learned hyperprior mean {summary['hyperprior']['mean']:.1%}")
     return 0
 
 
@@ -544,6 +643,7 @@ _COMMANDS = {
     "screen": _cmd_screen,
     "calculator": _cmd_calculator,
     "surveillance": _cmd_surveillance,
+    "surveil": _cmd_surveil,
     "scenarios": _cmd_scenarios,
     "serve": _cmd_serve,
     "trace": _cmd_trace,

@@ -141,6 +141,8 @@ DRIVER_TAGS = frozenset(
         "SBGTSession",
         "DistributedLattice",
         "PosteriorBackend",
+        "Campaign",
+        "BudgetAllocator",
     }
 )
 
@@ -165,6 +167,10 @@ _CONSTRUCTOR_TAGS = {
     "DistributedLattice": "DistributedLattice",
     "SparsePosterior": "PosteriorBackend",
     "ParticlePosterior": "PosteriorBackend",
+    "Campaign": "Campaign",
+    "ThompsonAllocator": "BudgetAllocator",
+    "UniformAllocator": "BudgetAllocator",
+    "GreedyAllocator": "BudgetAllocator",
     "Lock": "Lock",
     "RLock": "Lock",
     "Condition": "Lock",
@@ -219,6 +225,11 @@ _ANNOTATION_TAGS = {
     "PosteriorBackend": "PosteriorBackend",
     "SparsePosterior": "PosteriorBackend",
     "ParticlePosterior": "PosteriorBackend",
+    "Campaign": "Campaign",
+    "BudgetAllocator": "BudgetAllocator",
+    "ThompsonAllocator": "BudgetAllocator",
+    "UniformAllocator": "BudgetAllocator",
+    "GreedyAllocator": "BudgetAllocator",
 }
 
 

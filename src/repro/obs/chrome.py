@@ -41,7 +41,14 @@ _DRIVER_TID = 0
 _PHASES_TID = 1
 
 #: Event kinds rendered as duration slices from their ``wall_s``.
-_SLICE_KINDS = ("task_end", "stage_end", "job_end", "request_end", "batch_executed")
+_SLICE_KINDS = (
+    "task_end",
+    "stage_end",
+    "job_end",
+    "request_end",
+    "batch_executed",
+    "surveil_round_end",
+)
 #: Cumulative counters sampled on every matching event.
 _COUNTER_KINDS = {
     "cache_hit": ("cache", "hits"),
@@ -50,6 +57,23 @@ _COUNTER_KINDS = {
     "shuffle_write": ("shuffle", "writes"),
     "shuffle_fetch": ("shuffle", "fetches"),
 }
+
+
+def _instant_name(rec: Dict[str, Any]) -> Union[str, None]:
+    """Instant ("i") label for point events; ``None`` = not an instant."""
+    kind = rec.get("kind", "")
+    if kind == "task_retry":
+        return f"retry s{rec.get('stage_id', '?')}p{rec.get('partition', '?')}"
+    if kind == "surveil_round_start":
+        return f"round {rec.get('round_index', '?')} start (budget {rec.get('budget', '?')})"
+    if kind == "surveil_budget_allocated":
+        return f"allocate[{rec.get('allocator', '?')}] r{rec.get('round_index', '?')}"
+    if kind == "surveil_site_screened":
+        return (
+            f"{rec.get('site', 'site?')} r{rec.get('round_index', '?')}: "
+            f"{rec.get('cases_found', '?')} cases / {rec.get('tests_used', '?')} tests"
+        )
+    return None
 
 
 def read_jsonl_records(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
@@ -75,6 +99,11 @@ def _slice_name(rec: Dict[str, Any]) -> str:
         return f"request {rec.get('endpoint', '')}".strip()
     if kind == "batch_executed":
         return f"batch n={rec.get('batch_size', '?')}"
+    if kind == "surveil_round_end":
+        return (
+            f"surveil round {rec.get('round_index', '?')} "
+            f"({rec.get('cases', '?')} cases)"
+        )
     return kind or "event"
 
 
@@ -240,19 +269,21 @@ def chrome_trace(
                     },
                 }
             )
-        elif kind == "task_retry":
-            out.append(
-                {
-                    "ph": "i",
-                    "name": f"retry s{r.get('stage_id', '?')}p{r.get('partition', '?')}",
-                    "cat": "retry",
-                    "pid": _DRIVER_PID,
-                    "tid": _DRIVER_TID,
-                    "ts": us(wall),
-                    "s": "g",
-                    "args": _args(r),
-                }
-            )
+        else:
+            name = _instant_name(r)
+            if name is not None:
+                out.append(
+                    {
+                        "ph": "i",
+                        "name": name,
+                        "cat": "retry" if kind == "task_retry" else (r.get("phase") or kind),
+                        "pid": _DRIVER_PID,
+                        "tid": _DRIVER_TID,
+                        "ts": us(wall),
+                        "s": "g",
+                        "args": _args(r),
+                    }
+                )
 
     out.sort(key=lambda e: e.get("ts", 0.0))
     return {

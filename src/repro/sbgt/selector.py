@@ -16,7 +16,6 @@ stay behind the protocol.
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Tuple
 
 import numpy as np
@@ -34,20 +33,6 @@ __all__ = [
     "select_infogain_pool_distributed",
 ]
 
-_SENTINEL = object()
-
-
-def _warn_log_offset(log_offset) -> None:
-    if log_offset is not _SENTINEL:
-        warnings.warn(
-            "the log_offset parameter is deprecated and ignored: backends "
-            "return normalised selection statistics (it will be removed "
-            "next release)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-
 def _tie_break_order(*keys: np.ndarray) -> np.ndarray:
     """Stable ordering by the given keys, most significant *last*.
 
@@ -64,16 +49,15 @@ def _tie_break_order(*keys: np.ndarray) -> np.ndarray:
 
 
 def down_set_masses_distributed(
-    posterior: PosteriorBackend, pool_masks: np.ndarray, log_offset=_SENTINEL
+    posterior: PosteriorBackend, pool_masks: np.ndarray
 ) -> np.ndarray:
     """Down-set mass of each candidate pool (already normalised)."""
-    _warn_log_offset(log_offset)
     return posterior.down_set_masses(pool_masks)
 
 
 @traced(PHASE_SELECTION, "select_halving")
 def select_halving_pool_distributed(
-    posterior: PosteriorBackend, pool_masks: np.ndarray, log_offset=_SENTINEL
+    posterior: PosteriorBackend, pool_masks: np.ndarray
 ) -> Tuple[int, float, float]:
     """Bayesian Halving Algorithm over a posterior backend.
 
@@ -81,7 +65,6 @@ def select_halving_pool_distributed(
     deterministic (gap, pool size, mask) tie-breaking as the serial
     :func:`repro.halving.bha.select_halving_pool`.
     """
-    _warn_log_offset(log_offset)
     pools = np.asarray(pool_masks)
     if pools.size == 0:
         raise ValueError("no candidate pools supplied")
@@ -100,7 +83,7 @@ def _binary_entropy(p: np.ndarray) -> np.ndarray:
 
 @traced(PHASE_SELECTION, "select_infogain")
 def select_infogain_pool_distributed(
-    posterior: PosteriorBackend, candidate_masks: np.ndarray, model, log_offset=_SENTINEL
+    posterior: PosteriorBackend, candidate_masks: np.ndarray, model
 ) -> Tuple[int, float]:
     """Mutual-information pool selection (binary models).
 
@@ -110,7 +93,6 @@ def select_infogain_pool_distributed(
     matching :class:`repro.halving.policy.InformationGainPolicy` choice
     for choice.
     """
-    _warn_log_offset(log_offset)
     if not getattr(model, "binary", False):
         raise ValueError("information-gain selection requires a binary response model")
     candidates = np.asarray(candidate_masks)
@@ -136,7 +118,7 @@ def select_infogain_pool_distributed(
 
 @traced(PHASE_SELECTION, "select_lookahead")
 def select_lookahead_pools_distributed(
-    posterior: PosteriorBackend, candidate_masks: np.ndarray, s: int, log_offset=_SENTINEL
+    posterior: PosteriorBackend, candidate_masks: np.ndarray, s: int
 ) -> Tuple[List[int], float]:
     """Greedy s-pool look-ahead batch selection over a posterior backend.
 
@@ -145,7 +127,6 @@ def select_lookahead_pools_distributed(
     appends the winner (same deterministic scan order as the serial
     :func:`repro.halving.lookahead.select_lookahead_pools`).
     """
-    _warn_log_offset(log_offset)
     if s < 1:
         raise ValueError("s must be >= 1")
     candidates = np.asarray(candidate_masks)

@@ -23,8 +23,15 @@ from repro.serve.protocol import (
     CalculatorRequest,
     ScreenRequest,
     SessionCreateRequest,
+    SurveilRequest,
 )
-from repro.serve.sessions import ServeSession, SessionLimitError, SessionRegistry
+from repro.serve.sessions import (
+    CampaignRegistry,
+    CampaignSession,
+    ServeSession,
+    SessionLimitError,
+    SessionRegistry,
+)
 
 __all__ = [
     "ReproServer",
@@ -46,8 +53,11 @@ __all__ = [
     "BadRequest",
     "CalculatorRequest",
     "ScreenRequest",
+    "SurveilRequest",
     "SessionCreateRequest",
     "ServeSession",
     "SessionRegistry",
     "SessionLimitError",
+    "CampaignRegistry",
+    "CampaignSession",
 ]

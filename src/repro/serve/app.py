@@ -15,11 +15,16 @@ Endpoints (all JSON)::
     GET  /metrics                      bus-fed counters and latency histograms
     POST /calculator                   pool/don't-pool decision table
     POST /screen                       one-shot cohort classification
+    POST /surveil                      whole multi-site campaign, one shot
     POST /sessions                     start an interactive screen
     GET  /sessions/{id}                session snapshot
     GET  /sessions/{id}/next-pool      next stage's pool proposals
     POST /sessions/{id}/results        submit assay outcomes
     DELETE /sessions/{id}              close a session
+    POST /campaigns                    start a round-by-round campaign
+    GET  /campaigns/{id}               campaign snapshot
+    POST /campaigns/{id}/round         advance the campaign one round
+    DELETE /campaigns/{id}             close a campaign
     GET  /debug/events                 flight-recorder window (?kind=&trace_id=&limit=)
     GET  /debug/traces/{trace_id}      every retained event of one trace + summary
     GET  /debug/slow                   slow-op log (ops above the threshold)
@@ -59,8 +64,15 @@ from repro.serve.protocol import (
     CalculatorRequest,
     ScreenRequest,
     SessionCreateRequest,
+    SurveilRequest,
 )
-from repro.serve.sessions import ServeSession, SessionLimitError, SessionRegistry
+from repro.serve.sessions import (
+    CampaignRegistry,
+    CampaignSession,
+    ServeSession,
+    SessionLimitError,
+    SessionRegistry,
+)
 
 __all__ = ["ServeConfig", "ReproServer", "serve"]
 
@@ -142,6 +154,9 @@ class ReproServer:
         self.sessions = SessionRegistry(
             self.ctx, self.config.max_sessions, self.config.session_ttl_s
         )
+        self.campaigns = CampaignRegistry(
+            self.ctx, self.config.max_sessions, self.config.session_ttl_s
+        )
         self.batcher = MicroBatcher(
             self._run_compute,
             window_s=self.config.batch_window_s,
@@ -177,6 +192,7 @@ class ReproServer:
             self._sweeper = None
         await self._http.close()
         self.sessions.close_all()
+        self.campaigns.close_all()
         self._executor.shutdown(wait=True, cancel_futures=True)
         self.ctx.stop()
 
@@ -186,6 +202,8 @@ class ReproServer:
                 await asyncio.sleep(min(60.0, max(1.0, self.config.session_ttl_s / 4)))
                 for sid in self.sessions.sweep():
                     self._post(SessionEvent(sid, "expired"))
+                for cid in self.campaigns.sweep():
+                    self._post(SessionEvent(cid, "campaign_expired"))
         except asyncio.CancelledError:
             pass
 
@@ -274,6 +292,23 @@ class ReproServer:
                 return await self._calculator(request)
             if segments == ["screen"] and method == "POST":
                 return await self._screen(request)
+            if segments == ["surveil"] and method == "POST":
+                return await self._surveil(request)
+            if segments == ["campaigns"] and method == "POST":
+                return await self._campaign_create(request)
+            if len(segments) == 2 and segments[0] == "campaigns":
+                if method == "GET":
+                    return self._campaign_get(segments[1])
+                if method == "DELETE":
+                    return await self._campaign_delete(segments[1])
+                raise HttpError(405, f"{method} not allowed here")
+            if (
+                len(segments) == 3
+                and segments[0] == "campaigns"
+                and segments[2] == "round"
+                and method == "POST"
+            ):
+                return await self._campaign_round(segments[1])
             if segments == ["sessions"] and method == "POST":
                 return await self._session_create(request)
             if len(segments) == 2 and segments[0] == "sessions":
@@ -297,7 +332,8 @@ class ReproServer:
             ):
                 return await self._session_results(request, segments[1])
             if segments and segments[0] in (
-                "healthz", "metrics", "calculator", "screen", "sessions"
+                "healthz", "metrics", "calculator", "screen", "surveil",
+                "sessions", "campaigns",
             ):
                 raise HttpError(405, f"{method} not allowed on /{'/'.join(segments)}")
             raise HttpError(404, f"no such endpoint: /{'/'.join(segments)}")
@@ -305,7 +341,8 @@ class ReproServer:
             endpoint = "/" + (segments[0] if segments else "")
             return endpoint, json_response({"error": str(exc)}, 400), "rejected"
         except SessionLimitError as exc:
-            return "/sessions", json_response({"error": str(exc)}, 503), "rejected"
+            endpoint = "/" + (segments[0] if segments else "sessions")
+            return endpoint, json_response({"error": str(exc)}, 503), "rejected"
         except HttpError as exc:
             endpoint = "/" + (segments[0] if segments else "")
             return (
@@ -324,6 +361,7 @@ class ReproServer:
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "inflight": self._inflight,
                 "sessions": len(self.sessions),
+                "campaigns": len(self.campaigns),
             }
         )
 
@@ -335,6 +373,7 @@ class ReproServer:
             self.cache.snapshot() if self.cache is not None else {"enabled": False}
         )
         doc["session_registry"] = self.sessions.snapshot()
+        doc["campaign_registry"] = self.campaigns.snapshot()
         doc["engine"]["registry_jobs"] = len(self.ctx.metrics.jobs)
         doc["engine"]["registry_task_time_s"] = round(
             self.ctx.metrics.total_task_time(), 6
@@ -411,6 +450,78 @@ class ReproServer:
 
         payload, source = await self._cached_batched("/screen", req.key(), thunk)
         return "/screen", json_response(payload), source
+
+    async def _surveil(self, request: Request) -> Tuple[str, Response, str]:
+        req = SurveilRequest.from_payload(self._with_default_backend(request.json()))
+        ctx = self.ctx
+        lock = self._engine_lock
+
+        def thunk() -> Dict[str, Any]:
+            with lock:
+                return req.execute(ctx)
+
+        payload, source = await self._cached_batched("/surveil", req.key(), thunk)
+        return "/surveil", json_response(payload), source
+
+    # ------------------------------------------------------------------
+    # campaign endpoints (round-by-round surveillance)
+    # ------------------------------------------------------------------
+    def _require_campaign(self, campaign_id: str) -> CampaignSession:
+        campaign = self.campaigns.get(campaign_id)
+        if campaign is None:
+            raise HttpError(404, f"no such campaign: {campaign_id}")
+        campaign.touch()
+        return campaign
+
+    async def _campaign_create(self, request: Request) -> Tuple[str, Response, str]:
+        req = SurveilRequest.from_payload(self._with_default_backend(request.json()))
+        campaign = self.campaigns.create(req)
+        self._post(SessionEvent(campaign.id, "campaign_created"))
+        return "/campaigns", json_response(campaign.snapshot(), 201), "computed"
+
+    def _campaign_get(self, campaign_id: str) -> Tuple[str, Response, str]:
+        campaign = self._require_campaign(campaign_id)
+        return "/campaigns/{id}", json_response(campaign.snapshot()), "computed"
+
+    async def _campaign_round(self, campaign_id: str) -> Tuple[str, Response, str]:
+        campaign = self._require_campaign(campaign_id)
+        lock = self._engine_lock
+
+        def thunk() -> Dict[str, Any]:
+            with lock:
+                if campaign.campaign.finished:
+                    raise BadRequest("campaign already ran all its rounds")
+                summary = campaign.campaign.run_round()
+                doc = campaign.snapshot()
+                doc["round"] = {
+                    "round": summary.index,
+                    "allocations": list(summary.allocations),
+                    "screens": summary.screens,
+                    "tests": summary.tests,
+                    "cases": summary.cases,
+                    "true_positives": summary.true_positives,
+                }
+                return doc
+
+        self._admit()
+        try:
+            async with campaign.lock:
+                payload = await self._run_compute(thunk)
+        finally:
+            self._inflight -= 1
+        return "/campaigns/{id}/round", json_response(payload), "computed"
+
+    async def _campaign_delete(self, campaign_id: str) -> Tuple[str, Response, str]:
+        campaign = self._require_campaign(campaign_id)
+        async with campaign.lock:
+            closed = self.campaigns.close(campaign.id)
+        if closed:
+            self._post(SessionEvent(campaign.id, "campaign_closed"))
+        return (
+            "/campaigns/{id}",
+            json_response({"campaign_id": campaign.id, "closed": closed}),
+            "computed",
+        )
 
     # ------------------------------------------------------------------
     # session endpoints

@@ -34,9 +34,14 @@ __all__ = [
     "CalculatorRequest",
     "ScreenRequest",
     "SessionCreateRequest",
+    "SurveilRequest",
     "MAX_COHORT",
     "MAX_COHORT_APPROX",
+    "MAX_SITES",
 ]
+
+#: Fleet-size ceiling for one surveillance campaign request.
+MAX_SITES = 64
 
 #: Dense-lattice ceiling shared with the CLI's ``--cohort`` bound.
 MAX_COHORT = 24
@@ -323,6 +328,149 @@ class ScreenRequest:
         finally:
             session.close()
         return screen_payload(result, request=self.canonical())
+
+
+def _check_allocator(name: Any) -> str:
+    _require(isinstance(name, str), "allocator must be a string")
+    from repro.surveil.allocator import make_allocator
+
+    try:
+        make_allocator(name)
+    except ValueError as exc:
+        raise BadRequest(str(exc)) from None
+    return name
+
+
+def _check_fleet(name: Any) -> str:
+    from repro.surveil.sites import FLEET_KINDS
+
+    _require(isinstance(name, str) and name in FLEET_KINDS,
+             f"fleet must be one of: {', '.join(FLEET_KINDS)}")
+    return name
+
+
+@dataclass(frozen=True)
+class SurveilRequest:
+    """``POST /surveil`` — a whole multi-site surveillance campaign.
+
+    Builds a seeded fleet, runs the round loop to completion, and
+    returns the campaign payload.  The same dataclass backs
+    ``python -m repro surveil --json`` and the campaign session API
+    (``POST /campaigns``), so bodies stay byte-identical across entry
+    points.
+    """
+
+    sites: int = 6
+    cohort: int = 10
+    rounds: int = 8
+    budget: int = 6
+    allocator: str = "thompson"
+    policy: str = "bha"
+    fleet: str = "heterogeneous"
+    seed: int = 0
+    max_stages: int = 40
+    backend: str = "dense"
+    assay: AssaySpec = AssaySpec(assay="binary")
+
+    _FIELDS = frozenset(
+        {"sites", "cohort", "rounds", "budget", "allocator", "policy", "fleet",
+         "seed", "max_stages", "backend", "assay"}
+    )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SurveilRequest":
+        _require(isinstance(payload, Mapping), "request body must be a JSON object")
+        _check_keys(payload, cls._FIELDS, "surveil")
+        backend = _check_backend(payload.get("backend", "dense"))
+        fleet = _check_fleet(payload.get("fleet", "heterogeneous"))
+        sites = _get_int(payload, "sites", 6)
+        _require(1 <= sites <= MAX_SITES, f"sites must be in [1, {MAX_SITES}]")
+        cohort = _check_cohort(_get_int(payload, "cohort", 10), backend)
+        if fleet == "household":
+            _require(backend == "dense",
+                     "household fleets need the dense backend (correlated prior)")
+            _require(cohort % 3 == 0 and cohort <= MAX_COHORT,
+                     f"household fleets need cohort a multiple of 3, <= {MAX_COHORT}")
+        rounds = _get_int(payload, "rounds", 8)
+        _require(1 <= rounds <= 200, "rounds must be in [1, 200]")
+        budget = _get_int(payload, "budget", 6)
+        _require(1 <= budget <= 128, "budget must be in [1, 128]")
+        max_stages = _get_int(payload, "max_stages", 40)
+        _require(1 <= max_stages <= 500, "max_stages must be in [1, 500]")
+        assay = (AssaySpec.from_payload(payload["assay"]) if "assay" in payload
+                 else AssaySpec(assay="binary"))
+        return cls(
+            sites=sites,
+            cohort=cohort,
+            rounds=rounds,
+            budget=budget,
+            allocator=_check_allocator(payload.get("allocator", "thompson")),
+            policy=_check_policy(payload.get("policy", "bha")),
+            fleet=fleet,
+            seed=_get_int(payload, "seed", 0),
+            max_stages=max_stages,
+            backend=backend,
+            assay=assay,
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "sites": self.sites,
+            "cohort": self.cohort,
+            "rounds": self.rounds,
+            "budget": self.budget,
+            "allocator": self.allocator,
+            "policy": self.policy,
+            "fleet": self.fleet,
+            "seed": self.seed,
+            "max_stages": self.max_stages,
+            "assay": self.assay.canonical(),
+        }
+        # Keep the dense default byte-identical across request kinds.
+        if self.backend != "dense":
+            out["backend"] = self.backend
+        return out
+
+    def key(self) -> str:
+        return request_digest("surveil", self.canonical())
+
+    def build_fleet(self):
+        """The seeded :class:`~repro.surveil.sites.SiteSpec` tuple."""
+        from repro.surveil.sites import make_fleet
+
+        a = self.assay
+        if self.fleet == "household":
+            overrides = {"sensitivity": a.sensitivity, "specificity": a.specificity}
+        else:
+            overrides = {
+                "assay": a.assay,
+                "sensitivity": a.sensitivity,
+                "specificity": a.specificity,
+                "dilution": a.dilution,
+            }
+        return make_fleet(self.fleet, self.sites, self.cohort, self.seed, **overrides)
+
+    def build_campaign(self, ctx):
+        """A fresh :class:`~repro.surveil.campaign.Campaign` (shared by
+        the one-shot endpoint, the session API, and the CLI)."""
+        from repro.surveil.campaign import Campaign, CampaignConfig
+
+        config = CampaignConfig(
+            rounds=self.rounds,
+            budget=self.budget,
+            allocator=self.allocator,
+            policy=self.policy,
+            backend=self.backend,
+            max_stages=self.max_stages,
+            seed=self.seed,
+        )
+        return Campaign(self.build_fleet(), config, ctx=ctx)
+
+    def execute(self, ctx) -> Dict[str, Any]:
+        """Run the whole campaign; *ctx* may be ``None`` (serial screens)."""
+        from repro.workflows.payloads import surveil_payload
+
+        return surveil_payload(self.build_campaign(ctx).run(), request=self.canonical())
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""The interactive session registry.
+"""The interactive session and campaign registries.
 
 A *serve session* is one sequential screen whose assays happen outside
 the server: the server owns the belief state (an
@@ -8,6 +8,13 @@ the client owns the physical pools.  The registry bounds how many live
 at once, expires idle ones, and serializes access per session (two
 concurrent result submissions for the same screen would corrupt the
 evidence trail).
+
+A *campaign session* is the surveillance analogue: a live
+:class:`~repro.surveil.campaign.Campaign` advanced round by round via
+``POST /campaigns/{id}/round``, so a client can watch the allocator
+learn (or interleave rounds with its own decisions) instead of getting
+only the finished result.  :class:`CampaignRegistry` applies the same
+bounding/TTL/locking discipline.
 """
 
 from __future__ import annotations
@@ -20,9 +27,15 @@ from typing import Any, Dict, List, Optional
 
 from repro.sbgt.session import SBGTSession
 from repro.sbgt.stepper import ScreenStepper
-from repro.serve.protocol import SessionCreateRequest
+from repro.serve.protocol import SessionCreateRequest, SurveilRequest
 
-__all__ = ["ServeSession", "SessionRegistry", "SessionLimitError"]
+__all__ = [
+    "ServeSession",
+    "SessionRegistry",
+    "SessionLimitError",
+    "CampaignSession",
+    "CampaignRegistry",
+]
 
 
 class SessionLimitError(RuntimeError):
@@ -174,6 +187,118 @@ class SessionRegistry:
         return {
             "active": active,
             "max_sessions": self.max_sessions,
+            "ttl_s": self.ttl_s,
+            "created": self.created,
+            "expired": self.expired,
+            "closed": self.closed,
+        }
+
+
+class CampaignSession:
+    """One live multi-site surveillance campaign."""
+
+    def __init__(self, campaign_id: str, request: SurveilRequest, campaign) -> None:
+        self.id = campaign_id
+        self.request = request
+        self.campaign = campaign
+        self.created = time.monotonic()
+        self.last_touch = self.created
+        # Per-campaign mutual exclusion: two concurrent /round calls
+        # would double-run a round and corrupt the belief fold.
+        self.lock = asyncio.Lock()
+
+    def touch(self) -> None:
+        self.last_touch = time.monotonic()
+
+    def idle_s(self) -> float:
+        return time.monotonic() - self.last_touch
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The campaign-state document every campaign endpoint returns."""
+        doc = self.campaign.snapshot()
+        doc["campaign_id"] = self.id
+        doc["request"] = self.request.canonical()
+        return doc
+
+    def close(self) -> None:
+        """Campaigns hold no engine resources between rounds."""
+
+
+class CampaignRegistry:
+    """Bounded, TTL-swept map of live campaigns.
+
+    Creation is driver-side and cheap (no lattice is built until a
+    round runs), so unlike :meth:`SessionRegistry.create` this can run
+    on the event loop.
+    """
+
+    def __init__(self, ctx, max_campaigns: int = 64, ttl_s: float = 900.0) -> None:
+        if max_campaigns < 1:
+            raise ValueError("max_campaigns must be >= 1")
+        self._ctx = ctx
+        self.max_campaigns = max_campaigns
+        self.ttl_s = float(ttl_s)
+        self._campaigns: Dict[str, CampaignSession] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.expired = 0
+        self.closed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._campaigns)
+
+    def create(self, request: SurveilRequest) -> CampaignSession:
+        with self._lock:
+            if len(self._campaigns) >= self.max_campaigns:
+                raise SessionLimitError(
+                    f"campaign limit reached ({self.max_campaigns}); "
+                    "close or expire campaigns first"
+                )
+            campaign = request.build_campaign(self._ctx)
+            session = CampaignSession(uuid.uuid4().hex[:16], request, campaign)
+            self._campaigns[session.id] = session
+            self.created += 1
+        return session
+
+    def get(self, campaign_id: str) -> Optional[CampaignSession]:
+        with self._lock:
+            return self._campaigns.get(campaign_id)
+
+    def close(self, campaign_id: str) -> bool:
+        with self._lock:
+            session = self._campaigns.pop(campaign_id, None)
+            if session is None:
+                return False
+            self.closed += 1
+        session.close()
+        return True
+
+    def sweep(self) -> List[str]:
+        """Expire idle campaigns past the TTL; returns the expired ids."""
+        with self._lock:
+            stale = [c for c in self._campaigns.values() if c.idle_s() > self.ttl_s]
+            for c in stale:
+                del self._campaigns[c.id]
+                self.expired += 1
+        for c in stale:
+            c.close()
+        return [c.id for c in stale]
+
+    def close_all(self) -> None:
+        with self._lock:
+            campaigns = list(self._campaigns.values())
+            self._campaigns.clear()
+        for c in campaigns:
+            c.close()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for ``/metrics``."""
+        with self._lock:
+            active = len(self._campaigns)
+        return {
+            "active": active,
+            "max_campaigns": self.max_campaigns,
             "ttl_s": self.ttl_s,
             "created": self.created,
             "expired": self.expired,

@@ -1,0 +1,72 @@
+"""Multi-site surveillance orchestration (``repro.surveil``).
+
+The paper frames SBGT as disease-surveillance infrastructure; this
+package supplies the fleet layer above single screens: a
+:class:`Campaign` drives K sites round by round, a
+:class:`BudgetAllocator` (Thompson sampling against learned per-site
+prevalence beliefs, with uniform and ε-greedy baselines) splits each
+round's test budget, and every allocated screen runs on the existing
+engine as parallel work.  See ``docs/architecture.md`` ("Surveillance
+orchestration") for the round loop and event flow.
+"""
+
+from repro.surveil.allocator import (
+    ALLOCATOR_HELP,
+    BudgetAllocator,
+    GreedyAllocator,
+    ThompsonAllocator,
+    UniformAllocator,
+    make_allocator,
+)
+from repro.surveil.beliefs import BetaHyperprior, SiteBelief, learn_hyperprior
+from repro.surveil.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    RoundSummary,
+    SiteScreenJob,
+    SiteScreenOutcome,
+    run_site_screen,
+    site_screen_seed,
+)
+from repro.surveil.events import BudgetAllocated, RoundEnd, RoundStart, SiteScreened
+from repro.surveil.sites import (
+    FLEET_KINDS,
+    SITE_KINDS,
+    SiteSpec,
+    epidemic_fleet,
+    heterogeneous_fleet,
+    household_fleet,
+    make_fleet,
+)
+
+__all__ = [
+    "ALLOCATOR_HELP",
+    "BudgetAllocator",
+    "ThompsonAllocator",
+    "UniformAllocator",
+    "GreedyAllocator",
+    "make_allocator",
+    "BetaHyperprior",
+    "SiteBelief",
+    "learn_hyperprior",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "RoundSummary",
+    "SiteScreenJob",
+    "SiteScreenOutcome",
+    "run_site_screen",
+    "site_screen_seed",
+    "RoundStart",
+    "BudgetAllocated",
+    "SiteScreened",
+    "RoundEnd",
+    "SiteSpec",
+    "SITE_KINDS",
+    "FLEET_KINDS",
+    "heterogeneous_fleet",
+    "epidemic_fleet",
+    "household_fleet",
+    "make_fleet",
+]

@@ -1,0 +1,162 @@
+"""Budget allocators: how a round's screens get split across sites.
+
+The campaign hands every allocator the same inputs — one Beta posterior
+``(alpha, beta)`` per site and the round's screen budget — and gets back
+an integer allocation summing to the budget.  Three strategies:
+
+``ThompsonAllocator``
+    Per-slot Thompson sampling (the FAAST design): for each screen in
+    the budget, draw one prevalence sample per site from its posterior
+    and give the slot to the argmax.  Early rounds explore (wide
+    posteriors overlap), later rounds concentrate on the hot sites, and
+    the exploration/exploitation trade-off needs no tuning knob.
+
+``UniformAllocator``
+    Round-robin split, rotating the remainder so no site is
+    structurally favoured.  The surveillance status quo and the bench's
+    baseline.
+
+``GreedyAllocator``
+    ε-greedy on posterior means: exploit the current best site, explore
+    uniformly with probability ε per slot.  The classic bandit baseline
+    Thompson is usually compared against.
+
+Allocators are **driver-resident** (they hold RNG/rotation state and
+drive scheduling); never ship one into an engine task.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BudgetAllocator",
+    "ThompsonAllocator",
+    "UniformAllocator",
+    "GreedyAllocator",
+    "make_allocator",
+    "ALLOCATOR_HELP",
+]
+
+ALLOCATOR_HELP = "thompson, uniform, greedy"
+
+
+class BudgetAllocator(abc.ABC):
+    """Strategy protocol: split a round's screen budget across sites."""
+
+    #: CLI/API spelling (also what ``BudgetAllocated`` events report).
+    name: str = "?"
+
+    def reset(self) -> None:
+        """Clear any cross-round state (rotation offsets etc.)."""
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        posteriors: Sequence[Tuple[float, float]],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Return per-site screen counts summing to *budget*.
+
+        ``posteriors[k]`` is site *k*'s Beta ``(alpha, beta)`` prevalence
+        posterior.  *rng* is the campaign's allocator stream — a pure
+        strategy may ignore it, but must not reseed or replace it.
+        """
+
+    def _check(self, posteriors, budget) -> Tuple[np.ndarray, np.ndarray]:
+        if not posteriors:
+            raise ValueError("at least one site required")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        ab = np.asarray(posteriors, dtype=np.float64)
+        if ab.ndim != 2 or ab.shape[1] != 2 or (ab <= 0).any():
+            raise ValueError("posteriors must be positive (alpha, beta) pairs")
+        return ab[:, 0], ab[:, 1]
+
+
+class ThompsonAllocator(BudgetAllocator):
+    """Per-slot Thompson sampling over site-prevalence posteriors."""
+
+    name = "thompson"
+
+    def allocate(self, posteriors, budget, rng) -> List[int]:
+        alphas, betas = self._check(posteriors, budget)
+        counts = [0] * len(posteriors)
+        if budget == 0:
+            return counts
+        # One (budget, K) matrix of posterior draws; each row is a slot.
+        draws = rng.beta(alphas[None, :], betas[None, :], size=(budget, len(counts)))
+        for winner in np.argmax(draws, axis=1):
+            counts[int(winner)] += 1
+        return counts
+
+
+class UniformAllocator(BudgetAllocator):
+    """Round-robin split with a rotating remainder (the status quo)."""
+
+    name = "uniform"
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def reset(self) -> None:
+        self._offset = 0
+
+    def allocate(self, posteriors, budget, rng) -> List[int]:
+        self._check(posteriors, budget)
+        k = len(posteriors)
+        base, extra = divmod(budget, k)
+        counts = [base] * k
+        for j in range(extra):
+            counts[(self._offset + j) % k] += 1
+        self._offset = (self._offset + extra) % k
+        return counts
+
+
+class GreedyAllocator(BudgetAllocator):
+    """ε-greedy on posterior-mean prevalence."""
+
+    name = "greedy"
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+
+    def allocate(self, posteriors, budget, rng) -> List[int]:
+        alphas, betas = self._check(posteriors, budget)
+        means = alphas / (alphas + betas)
+        best = int(np.argmax(means))
+        counts = [0] * len(posteriors)
+        for _ in range(budget):
+            if self.epsilon > 0.0 and rng.random() < self.epsilon:
+                counts[int(rng.integers(len(counts)))] += 1
+            else:
+                counts[best] += 1
+        return counts
+
+
+def make_allocator(name: str) -> BudgetAllocator:
+    """Build an allocator from its CLI/API spelling.
+
+    Raises :class:`ValueError` for an unknown name (callers map this to
+    an argparse error or an HTTP 400 as appropriate).
+    """
+    if name == "thompson":
+        return ThompsonAllocator()
+    if name == "uniform":
+        return UniformAllocator()
+    if name == "greedy":
+        return GreedyAllocator()
+    if name.startswith("greedy-"):
+        try:
+            return GreedyAllocator(epsilon=float(name.split("-", 1)[1]) / 100.0)
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed allocator spec {name!r} (try: greedy-10 for ε=0.10)"
+            ) from exc
+    raise ValueError(f"unknown allocator {name!r} (try: {ALLOCATOR_HELP})")

@@ -1,0 +1,70 @@
+"""Campaign lifecycle events on the engine's listener bus.
+
+The surveillance orchestrator narrates each round on the **same**
+:class:`~repro.engine.listener.EventBus` the engine and the serving
+layer post on, so one subscriber — the flight recorder, the tracer, a
+metrics listener — sees allocation decisions interleaved with the
+job/stage/task events of the screens they caused.  Every event inherits
+the trace/phase stamping of :class:`EngineEvent`, which is what lets a
+whole campaign render as one correlated Chrome trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.engine.listener import EngineEvent, register_event_type
+
+__all__ = ["RoundStart", "BudgetAllocated", "SiteScreened", "RoundEnd"]
+
+#: Phase label campaign rounds run under (shows on the tracer timeline).
+PHASE_SURVEIL = "surveil"
+
+
+@dataclass
+class RoundStart(EngineEvent):
+    """A campaign round began: ``budget`` screens to split over ``num_sites``."""
+
+    round_index: int
+    budget: int
+    num_sites: int
+
+
+@dataclass
+class BudgetAllocated(EngineEvent):
+    """The allocator split the round's budget (``allocations[k]`` screens to site k)."""
+
+    round_index: int
+    allocator: str
+    allocations: Tuple[int, ...]
+
+
+@dataclass
+class SiteScreened(EngineEvent):
+    """One allocated screen at one site finished and was folded into beliefs."""
+
+    round_index: int
+    site_index: int
+    site: str
+    tests_used: int
+    cases_found: int
+    n_screened: int
+    belief_mean: float
+
+
+@dataclass
+class RoundEnd(EngineEvent):
+    """The round's screens all folded back; carries the round's wall time."""
+
+    round_index: int
+    screens: int
+    tests: int
+    cases: int
+    wall_s: float
+
+
+register_event_type(RoundStart, "surveil_round_start")
+register_event_type(BudgetAllocated, "surveil_budget_allocated")
+register_event_type(SiteScreened, "surveil_site_screened")
+register_event_type(RoundEnd, "surveil_round_end")

@@ -1,0 +1,264 @@
+"""Site specifications and fleet generators for multi-site campaigns.
+
+A :class:`SiteSpec` is a frozen, picklable description of one testing
+site — everything an engine task needs to *rebuild* that site's prior
+and response model for a given day, without shipping any driver object.
+Four generator kinds cover the paper's surveillance settings:
+
+``uniform``
+    Fixed prevalence, Beta-dispersed individual risks (the day-to-day
+    workhorse; what the heterogeneous bench fleet uses).
+``scenario``
+    A :mod:`repro.simulate.scenario` preset (community / outbreak /
+    hospital) rebuilt per day.
+``epidemic``
+    Prevalence follows a site-local SIR wave
+    (:func:`repro.simulate.epidemic.sir_prevalence`), phase-shifted per
+    site so a fleet sees staggered waves.
+``household``
+    A correlated :class:`~repro.bayes.correlated.HouseholdPrior`
+    lattice prior (dense screens only — the correlation structure needs
+    the full state space).
+
+Fleet builders assemble tuples of specs: :func:`heterogeneous_fleet`
+(log-spaced prevalences, the bandit's natural prey),
+:func:`epidemic_fleet` (staggered waves), :func:`household_fleet`
+(varying introduction rates), dispatched by :func:`make_fleet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.bayes.priors import PriorSpec
+from repro.simulate.epidemic import sir_prevalence
+from repro.simulate.scenario import get_scenario
+from repro.util.validation import check_positive_int, check_probability
+
+__all__ = [
+    "SiteSpec",
+    "SITE_KINDS",
+    "FLEET_KINDS",
+    "heterogeneous_fleet",
+    "epidemic_fleet",
+    "household_fleet",
+    "make_fleet",
+]
+
+SITE_KINDS = ("uniform", "scenario", "epidemic", "household")
+FLEET_KINDS = ("heterogeneous", "epidemic", "household")
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One testing site, described by plain picklable values."""
+
+    name: str
+    cohort_size: int
+    kind: str = "uniform"
+    # uniform / epidemic: risk heterogeneity around the day's prevalence
+    prevalence: float = 0.02
+    dispersion: float = 8.0
+    # scenario kind
+    scenario: str = "community"
+    # epidemic kind: site-local SIR wave, phase-shifted
+    sir_beta: float = 0.25
+    sir_gamma: float = 0.10
+    sir_i0: float = 0.002
+    phase: int = 0
+    # household kind: correlated lattice prior
+    households: Tuple[int, ...] = ()
+    intro_prob: float = 0.05
+    attack_rate: float = 0.5
+    # assay (ignored by the scenario kind, which brings its own model)
+    assay: str = "binary"
+    sensitivity: float = 0.98
+    specificity: float = 0.995
+    dilution: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cohort_size, "cohort_size")
+        if self.kind not in SITE_KINDS:
+            raise ValueError(f"unknown site kind {self.kind!r} (choose from {SITE_KINDS})")
+        check_probability(self.prevalence, "prevalence")
+        if self.kind == "scenario":
+            get_scenario(self.scenario)
+        if self.kind == "household":
+            if not self.households:
+                raise ValueError("household sites need at least one household")
+            if sum(self.households) != self.cohort_size:
+                raise ValueError("household sizes must sum to cohort_size")
+        if self.phase < 0:
+            raise ValueError("phase must be non-negative")
+
+    # ------------------------------------------------------------------
+    def day_prevalence(self, round_index: int) -> float:
+        """The site's true mean prevalence on the given round/day."""
+        if self.kind == "epidemic":
+            series = sir_prevalence(
+                self.phase + round_index + 1, self.sir_beta, self.sir_gamma, self.sir_i0
+            )
+            return float(np.clip(series[-1], 1e-6, 1 - 1e-6))
+        if self.kind == "household":
+            return self.intro_prob * self.attack_rate
+        if self.kind == "scenario":
+            # Presets are stationary; report the mean of the prior shape
+            # (hospital's Beta-sampled risks average to its target mean).
+            return float(
+                np.mean(get_scenario(self.scenario).make_prior(self.cohort_size, 0).risks)
+            )
+        return float(np.clip(self.prevalence, 1e-6, 1 - 1e-6))
+
+    def build_day(self, round_index: int, rng: np.random.Generator):
+        """``(prior_or_space, model, correlated)`` for one day's screen.
+
+        ``correlated`` is True for household sites, whose "prior" is a
+        full :class:`~repro.lattice.states.StateSpace` and must go
+        through :func:`~repro.workflows.classify.run_screen_from_space`.
+        """
+        from repro.workflows.payloads import make_model
+
+        if self.kind == "scenario":
+            prior, model = get_scenario(self.scenario).build(self.cohort_size, rng)
+            return prior, model, False
+        model = make_model(self.assay, self.sensitivity, self.specificity, self.dilution)
+        if self.kind == "household":
+            from repro.bayes.correlated import HouseholdPrior
+
+            space = HouseholdPrior(
+                self.households, self.intro_prob, self.attack_rate
+            ).build_dense()
+            return space, model, True
+        prev = self.day_prevalence(round_index)
+        prior = PriorSpec.sampled(self.cohort_size, prev, self.dispersion, rng)
+        return prior, model, False
+
+
+# ----------------------------------------------------------------------
+# fleet builders
+# ----------------------------------------------------------------------
+def heterogeneous_fleet(
+    num_sites: int,
+    cohort_size: int = 10,
+    seed: int = 0,
+    low: float = 0.005,
+    high: float = 0.12,
+    dispersion: float = 12.0,
+    assay: str = "binary",
+    sensitivity: float = 0.98,
+    specificity: float = 0.995,
+    dilution: float = 0.3,
+) -> Tuple[SiteSpec, ...]:
+    """Sites with log-spaced prevalences from *low* to *high*, shuffled.
+
+    The canonical bandit testbed: a few genuinely hot sites hide among
+    many cold ones, and the shuffle (seeded) stops position from
+    correlating with prevalence.
+    """
+    check_positive_int(num_sites, "num_sites")
+    prevs = np.geomspace(low, high, num_sites)
+    order = np.random.default_rng(seed).permutation(num_sites)
+    return tuple(
+        SiteSpec(
+            name=f"site-{k:02d}",
+            cohort_size=cohort_size,
+            kind="uniform",
+            prevalence=float(prevs[order[k]]),
+            dispersion=dispersion,
+            assay=assay,
+            sensitivity=sensitivity,
+            specificity=specificity,
+            dilution=dilution,
+        )
+        for k in range(num_sites)
+    )
+
+
+def epidemic_fleet(
+    num_sites: int,
+    cohort_size: int = 10,
+    seed: int = 0,
+    stagger_days: int = 12,
+    assay: str = "binary",
+    sensitivity: float = 0.98,
+    specificity: float = 0.995,
+    dilution: float = 0.3,
+) -> Tuple[SiteSpec, ...]:
+    """Sites riding SIR waves whose onsets are staggered across the fleet.
+
+    Site *k*'s wave is ``k * stagger_days`` further along (with mild
+    seeded jitter in the transmission rate), so on any given round some
+    sites sit pre-wave, some at peak, some in decline — the prevalence
+    landscape the allocator must keep re-learning.
+    """
+    check_positive_int(num_sites, "num_sites")
+    gen = np.random.default_rng(seed)
+    jitter = gen.uniform(0.9, 1.1, size=num_sites)
+    return tuple(
+        SiteSpec(
+            name=f"site-{k:02d}",
+            cohort_size=cohort_size,
+            kind="epidemic",
+            sir_beta=float(0.25 * jitter[k]),
+            phase=k * stagger_days,
+            assay=assay,
+            sensitivity=sensitivity,
+            specificity=specificity,
+            dilution=dilution,
+        )
+        for k in range(num_sites)
+    )
+
+
+def household_fleet(
+    num_sites: int,
+    cohort_size: int = 9,
+    household_size: int = 3,
+    seed: int = 0,
+    low_intro: float = 0.02,
+    high_intro: float = 0.25,
+    attack_rate: float = 0.5,
+    sensitivity: float = 0.98,
+    specificity: float = 0.995,
+) -> Tuple[SiteSpec, ...]:
+    """Correlated household sites with log-spaced introduction rates."""
+    check_positive_int(num_sites, "num_sites")
+    if cohort_size % household_size:
+        raise ValueError("cohort_size must be a multiple of household_size")
+    intros = np.geomspace(low_intro, high_intro, num_sites)
+    order = np.random.default_rng(seed).permutation(num_sites)
+    households = tuple([household_size] * (cohort_size // household_size))
+    return tuple(
+        SiteSpec(
+            name=f"site-{k:02d}",
+            cohort_size=cohort_size,
+            kind="household",
+            households=households,
+            intro_prob=float(intros[order[k]]),
+            attack_rate=attack_rate,
+            assay="binary",
+            sensitivity=sensitivity,
+            specificity=specificity,
+        )
+        for k in range(num_sites)
+    )
+
+
+def make_fleet(
+    kind: str, num_sites: int, cohort_size: int = 10, seed: int = 0, **overrides
+) -> Tuple[SiteSpec, ...]:
+    """Build a fleet by name (``heterogeneous`` / ``epidemic`` / ``household``).
+
+    Raises :class:`ValueError` for an unknown kind (callers map this to
+    an argparse error or an HTTP 400 as appropriate).
+    """
+    if kind == "heterogeneous":
+        return heterogeneous_fleet(num_sites, cohort_size, seed, **overrides)
+    if kind == "epidemic":
+        return epidemic_fleet(num_sites, cohort_size, seed, **overrides)
+    if kind == "household":
+        return household_fleet(num_sites, cohort_size, seed=seed, **overrides)
+    raise ValueError(f"unknown fleet kind {kind!r} (choose from {FLEET_KINDS})")

@@ -1,6 +1,11 @@
 """End-to-end workflows: screens, surveillance campaigns, the calculator."""
 
-from repro.workflows.classify import ScreenResult, run_screen, run_screen_from_space
+from repro.workflows.classify import (
+    ScreenResult,
+    run_screen,
+    run_screen_from_space,
+    screen_with_backend,
+)
 from repro.workflows.options import ScreenOptions
 from repro.workflows.surveillance import SurveillanceResult, run_surveillance
 from repro.workflows.calculator import CalculatorEntry, pooling_calculator
@@ -15,6 +20,7 @@ __all__ = [
     "ScreenOptions",
     "run_screen",
     "run_screen_from_space",
+    "screen_with_backend",
     "SurveillanceResult",
     "run_surveillance",
     "CalculatorEntry",

@@ -20,31 +20,10 @@ from repro.bayes.priors import PriorSpec
 from repro.halving.policy import SelectionPolicy
 from repro.metrics.reporting import format_table
 from repro.util.rng import RngLike, as_rng
-from repro.workflows.classify import run_screen
+from repro.workflows.classify import screen_with_backend
 from repro.workflows.options import ScreenOptions
 
 __all__ = ["CalculatorEntry", "pooling_calculator", "format_calculator_table"]
-
-
-def _replicate(backend, prior, model, policy, gen, options):
-    """One screen replication on the requested posterior backend."""
-    if backend == "dense":
-        return run_screen(prior, model, policy, rng=gen, options=options)
-    # Deferred import: repro.sbgt reaches back into workflows for payloads.
-    from repro.sbgt.config import SBGTConfig
-    from repro.sbgt.session import SBGTSession
-
-    config = SBGTConfig(
-        backend=backend,
-        max_stages=options.max_stages,
-        positive_threshold=options.positive_threshold,
-        negative_threshold=options.negative_threshold,
-    )
-    session = SBGTSession(None, prior, model, config)
-    try:
-        return session.run_screen(policy, rng=gen)
-    finally:
-        session.close()
 
 
 @dataclass(frozen=True)
@@ -103,13 +82,13 @@ def pooling_calculator(
         negative_threshold = min(0.01, float(prev) / 10.0)
         tpis, stages, accs = [], [], []
         for _ in range(replications):
-            res = _replicate(
-                backend,
+            res = screen_with_backend(
                 prior,
                 model,
                 policy_factory(),
+                backend,
                 gen,
-                ScreenOptions(
+                options=ScreenOptions(
                     max_stages=max_stages,
                     positive_threshold=positive_threshold,
                     negative_threshold=negative_threshold,

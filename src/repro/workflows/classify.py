@@ -28,7 +28,12 @@ from repro.simulate.testing import TestLab
 from repro.util.rng import RngLike, as_rng
 from repro.workflows.options import ScreenOptions, resolve_screen_options
 
-__all__ = ["ScreenResult", "run_screen", "run_screen_from_space"]
+__all__ = [
+    "ScreenResult",
+    "run_screen",
+    "run_screen_from_space",
+    "screen_with_backend",
+]
 
 
 @dataclass
@@ -167,6 +172,45 @@ def run_screen(
         stages_used=stages_used,
         exhausted_budget=exhausted,
     )
+
+
+def screen_with_backend(
+    prior: PriorSpec,
+    model: ResponseModel,
+    policy: SelectionPolicy,
+    backend: str = "dense",
+    rng: RngLike = None,
+    cohort: Optional[Cohort] = None,
+    options: Optional[ScreenOptions] = None,
+    stopping_rule=None,
+) -> ScreenResult:
+    """Run one screen on the named posterior backend.
+
+    ``"dense"`` runs the serial exact reference (:func:`run_screen`);
+    ``"sparse"`` / ``"particle"`` run the same protocol against a
+    driver-local approximate :class:`~repro.sbgt.session.SBGTSession`
+    (no engine context needed), which is what lifts cohorts past the
+    dense ``2^N`` wall.  All callers that fan screens out over backends
+    — the calculator, longitudinal surveillance, multi-site campaigns —
+    dispatch through here so backend semantics stay in one place.
+    """
+    if backend == "dense":
+        return run_screen(
+            prior, model, policy, rng=rng, cohort=cohort,
+            options=options, stopping_rule=stopping_rule,
+        )
+    # Deferred import: repro.sbgt reaches back into workflows for payloads.
+    from repro.sbgt.config import SBGTConfig
+    from repro.sbgt.session import SBGTSession
+
+    session = SBGTSession(None, prior, model, SBGTConfig(backend=backend))
+    try:
+        return session.run_screen(
+            policy, rng=rng, cohort=cohort,
+            stopping_rule=stopping_rule, options=options,
+        )
+    finally:
+        session.close()
 
 
 def run_screen_from_space(

@@ -47,6 +47,7 @@ __all__ = [
     "screen_payload",
     "calculator_payload",
     "calculator_entry_dict",
+    "surveil_payload",
     "dump_payload",
 ]
 
@@ -214,6 +215,25 @@ def calculator_payload(
         "kind": "calculator",
         "request": dict(request or {}),
         "entries": [calculator_entry_dict(e) for e in entries],
+    }
+
+
+def surveil_payload(
+    result,
+    request: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The multi-site campaign payload (CLI ``--json`` == server body).
+
+    *result* is a :class:`~repro.surveil.campaign.CampaignResult`.
+    Deterministic given the request parameters and seed: wall-clock
+    times are deliberately excluded (see ``CampaignResult.round_rows``).
+    """
+    return {
+        "kind": "surveil",
+        "request": dict(request or {}),
+        "summary": {k: _py(v) for k, v in result.summary().items()},
+        "sites": result.sites,
+        "rounds": result.round_rows(),
     }
 
 

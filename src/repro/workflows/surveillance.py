@@ -16,7 +16,7 @@ from repro.bayes.dilution import ResponseModel
 from repro.halving.policy import SelectionPolicy
 from repro.simulate.epidemic import sir_prevalence, surveillance_priors
 from repro.util.rng import RngLike, as_rng
-from repro.workflows.classify import ScreenResult, run_screen
+from repro.workflows.classify import ScreenResult, screen_with_backend
 from repro.workflows.options import ScreenOptions
 
 __all__ = ["DayOutcome", "SurveillanceResult", "run_surveillance"]
@@ -103,20 +103,24 @@ def run_surveillance(
     prevalence: Optional[np.ndarray] = None,
     dispersion: float = 8.0,
     max_stages: int = 50,
+    backend: str = "dense",
 ) -> SurveillanceResult:
     """Screen a fresh cohort each day of an epidemic wave.
 
     ``policy_factory`` builds a fresh policy per day (policies may carry
     per-screen state).  Pass an explicit *prevalence* series to pin the
-    epidemic; the default is the standard SIR wave.
+    epidemic; the default is the standard SIR wave.  ``backend`` picks
+    the per-day posterior representation (``"dense"`` exact serial,
+    ``"sparse"`` / ``"particle"`` approximate driver-local), so
+    epidemic-wave campaigns can run cohorts past the dense ``2^N`` wall.
     """
     gen = as_rng(rng)
     if prevalence is None:
         prevalence = sir_prevalence(days)
     campaign = SurveillanceResult()
     for day, prior in surveillance_priors(prevalence, cohort_size, dispersion, gen):
-        result = run_screen(
-            prior, model, policy_factory(), rng=gen,
+        result = screen_with_backend(
+            prior, model, policy_factory(), backend, rng=gen,
             options=ScreenOptions(max_stages=max_stages),
         )
         campaign.days.append(

@@ -8,9 +8,8 @@ Three implementations sit behind one protocol; these tests pin
   sparse backend reproduces the dense lattice bit-for-bit;
 * particle convergence — seeded determinism plus tolerance-bounded
   agreement with the exact posterior;
-* the redesigned boundaries — ``make_posterior`` factory, selector
-  signatures without ``log_offset``, the shared ``PruneStats`` type,
-  and backend-aware request payloads.
+* the redesigned boundaries — ``make_posterior`` factory, the shared
+  ``PruneStats`` type, and backend-aware request payloads.
 """
 
 from __future__ import annotations
@@ -130,13 +129,6 @@ def test_selectors_speak_the_protocol(backend, ctx):
     pools, obj = select_lookahead_pools_distributed(post, cands, 2)
     assert len(pools) == 2 and np.isfinite(obj)
     post.unpersist()
-
-
-def test_selector_log_offset_keyword_is_deprecated():
-    post = _build("sparse", None)
-    cands = np.array([0b000011, 0b000101], dtype=np.uint64)
-    with pytest.deprecated_call():
-        select_halving_pool_distributed(post, cands, log_offset=0.0)
 
 
 def test_map_state_on_empty_posterior_raises():

@@ -59,6 +59,19 @@ def test_screen_json_scenario_matches_server_body(capsys):
     assert out == raw.decode("utf-8")
 
 
+def test_surveil_json_matches_server_body(capsys):
+    out = _cli_stdout(
+        capsys,
+        ["surveil", "--json", "--sites", "4", "--cohort", "6", "--rounds", "2",
+         "--budget", "3", "--seed", "3", "--workers", "2"],
+    )
+    raw = _server_body(
+        "POST", "/surveil",
+        {"sites": 4, "cohort": 6, "rounds": 2, "budget": 3, "seed": 3},
+    )
+    assert out == raw.decode("utf-8")
+
+
 def test_screen_json_is_deterministic(capsys):
     argv = ["screen", "--json", "--cohort", "8", "--seed", "4", "--workers", "2"]
     assert _cli_stdout(capsys, argv) == _cli_stdout(capsys, argv)

@@ -1,0 +1,136 @@
+"""The /surveil endpoint and the round-by-round campaign API."""
+
+from tests.serve.serve_utils import http_call, run_with_server
+
+BODY = {"sites": 4, "cohort": 6, "rounds": 2, "budget": 3, "seed": 3}
+
+
+class TestSurveilEndpoint:
+    def test_one_shot_campaign(self):
+        async def scenario(server, host, port):
+            status, doc, headers, _ = await http_call(
+                host, port, "POST", "/surveil", BODY
+            )
+            assert status == 200
+            assert doc["kind"] == "surveil"
+            assert doc["summary"]["rounds"] == 2
+            assert doc["summary"]["total_screens"] == 6
+            assert len(doc["rounds"]) == 2
+            assert len(doc["sites"]) == 4
+            assert headers["x-repro-source"] == "computed"
+            return doc
+
+        run_with_server(scenario)
+
+    def test_repeat_request_hits_cache(self):
+        async def scenario(server, host, port):
+            _, first, _, _ = await http_call(host, port, "POST", "/surveil", BODY)
+            _, second, headers, _ = await http_call(host, port, "POST", "/surveil", BODY)
+            assert headers["x-repro-source"] == "cache"
+            assert second == first
+
+        run_with_server(scenario)
+
+    def test_validation_errors_are_400(self):
+        async def scenario(server, host, port):
+            cases = [
+                {"sites": 0},
+                {"rounds": 1000},
+                {"allocator": "ucb"},
+                {"fleet": "flotilla"},
+                {"fleet": "household", "backend": "sparse"},
+                {"unknown_key": 1},
+            ]
+            for body in cases:
+                status, doc, _, _ = await http_call(host, port, "POST", "/surveil", body)
+                assert status == 400, body
+                assert "error" in doc
+
+        run_with_server(scenario)
+
+    def test_method_not_allowed(self):
+        async def scenario(server, host, port):
+            status, _, _, _ = await http_call(host, port, "GET", "/surveil")
+            assert status == 405
+
+        run_with_server(scenario)
+
+
+class TestCampaignApi:
+    def test_full_lifecycle(self):
+        async def scenario(server, host, port):
+            status, doc, _, _ = await http_call(host, port, "POST", "/campaigns", BODY)
+            assert status == 201
+            cid = doc["campaign_id"]
+            assert doc["next_round"] == 0 and not doc["finished"]
+            assert doc["request"]["sites"] == 4
+
+            for expected in range(2):
+                status, doc, _, _ = await http_call(
+                    host, port, "POST", f"/campaigns/{cid}/round"
+                )
+                assert status == 200
+                assert doc["round"]["round"] == expected
+                assert sum(doc["round"]["allocations"]) == 3
+                assert doc["next_round"] == expected + 1
+            assert doc["finished"]
+
+            # one more round is a client error, not a crash
+            status, doc, _, _ = await http_call(
+                host, port, "POST", f"/campaigns/{cid}/round"
+            )
+            assert status == 400
+
+            status, doc, _, _ = await http_call(host, port, "GET", f"/campaigns/{cid}")
+            assert status == 200 and doc["finished"]
+
+            status, doc, _, _ = await http_call(
+                host, port, "DELETE", f"/campaigns/{cid}"
+            )
+            assert status == 200 and doc["closed"]
+            status, _, _, _ = await http_call(host, port, "GET", f"/campaigns/{cid}")
+            assert status == 404
+
+        run_with_server(scenario)
+
+    def test_stepped_campaign_matches_one_shot(self):
+        async def scenario(server, host, port):
+            _, oneshot, _, _ = await http_call(host, port, "POST", "/surveil", BODY)
+            _, doc, _, _ = await http_call(host, port, "POST", "/campaigns", BODY)
+            cid = doc["campaign_id"]
+            for _ in range(2):
+                _, doc, _, _ = await http_call(
+                    host, port, "POST", f"/campaigns/{cid}/round"
+                )
+            assert doc["summary"] == oneshot["summary"]
+            assert doc["rounds"] == oneshot["rounds"]
+            assert doc["sites"] == oneshot["sites"]
+
+        run_with_server(scenario)
+
+    def test_unknown_campaign_is_404(self):
+        async def scenario(server, host, port):
+            for method, path in [
+                ("GET", "/campaigns/nope"),
+                ("POST", "/campaigns/nope/round"),
+                ("DELETE", "/campaigns/nope"),
+            ]:
+                status, _, _, _ = await http_call(host, port, method, path)
+                assert status == 404, (method, path)
+
+        run_with_server(scenario)
+
+    def test_campaigns_surface_in_health_and_metrics(self):
+        async def scenario(server, host, port):
+            _, doc, _, _ = await http_call(host, port, "POST", "/campaigns", BODY)
+            cid = doc["campaign_id"]
+            _, health, _, _ = await http_call(host, port, "GET", "/healthz")
+            assert health["campaigns"] == 1
+            await http_call(host, port, "DELETE", f"/campaigns/{cid}")
+            _, metrics, _, _ = await http_call(host, port, "GET", "/metrics")
+            registry = metrics["campaign_registry"]
+            assert registry["created"] == 1
+            assert registry["closed"] == 1
+            assert registry["active"] == 0
+
+        run_with_server(scenario)

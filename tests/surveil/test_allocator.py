@@ -1,0 +1,110 @@
+"""Budget allocators: Thompson sampling and its baselines."""
+
+import numpy as np
+import pytest
+
+from repro.surveil.allocator import (
+    GreedyAllocator,
+    ThompsonAllocator,
+    UniformAllocator,
+    make_allocator,
+)
+
+HOT_COLD = [(20.0, 80.0), (1.0, 99.0), (1.0, 99.0), (1.0, 99.0)]
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", ["thompson", "uniform", "greedy"])
+    def test_sums_to_budget(self, name):
+        alloc = make_allocator(name)
+        counts = alloc.allocate(HOT_COLD, 7, _rng())
+        assert sum(counts) == 7
+        assert len(counts) == 4
+        assert all(c >= 0 for c in counts)
+
+    @pytest.mark.parametrize("name", ["thompson", "uniform", "greedy"])
+    def test_zero_budget(self, name):
+        assert make_allocator(name).allocate(HOT_COLD, 0, _rng()) == [0, 0, 0, 0]
+
+    @pytest.mark.parametrize("name", ["thompson", "greedy"])
+    def test_deterministic_given_rng(self, name):
+        a = make_allocator(name).allocate(HOT_COLD, 9, _rng(4))
+        b = make_allocator(name).allocate(HOT_COLD, 9, _rng(4))
+        assert a == b
+
+    def test_rejects_bad_inputs(self):
+        alloc = ThompsonAllocator()
+        with pytest.raises(ValueError):
+            alloc.allocate([], 3, _rng())
+        with pytest.raises(ValueError):
+            alloc.allocate(HOT_COLD, -1, _rng())
+        with pytest.raises(ValueError):
+            alloc.allocate([(1.0, 0.0)], 3, _rng())
+
+
+class TestThompson:
+    def test_concentrates_on_hot_site(self):
+        # Posteriors tight enough that site 0 (20% mean vs 1%) should win
+        # the overwhelming share of slots.
+        counts = ThompsonAllocator().allocate(HOT_COLD, 100, _rng(1))
+        assert counts[0] > 80
+
+    def test_flat_posteriors_explore(self):
+        flat = [(1.0, 1.0)] * 5
+        counts = ThompsonAllocator().allocate(flat, 200, _rng(2))
+        assert sum(1 for c in counts if c > 0) == 5  # every site gets slots
+
+
+class TestUniform:
+    def test_even_split(self):
+        assert UniformAllocator().allocate(HOT_COLD, 8, _rng()) == [2, 2, 2, 2]
+
+    def test_remainder_rotates_across_rounds(self):
+        alloc = UniformAllocator()
+        first = alloc.allocate(HOT_COLD, 5, _rng())
+        second = alloc.allocate(HOT_COLD, 5, _rng())
+        assert first == [2, 1, 1, 1]
+        assert second == [1, 2, 1, 1]
+
+    def test_reset_restores_rotation(self):
+        alloc = UniformAllocator()
+        alloc.allocate(HOT_COLD, 5, _rng())
+        alloc.reset()
+        assert alloc.allocate(HOT_COLD, 5, _rng()) == [2, 1, 1, 1]
+
+
+class TestGreedy:
+    def test_pure_exploitation_at_epsilon_zero(self):
+        counts = GreedyAllocator(epsilon=0.0).allocate(HOT_COLD, 6, _rng())
+        assert counts == [6, 0, 0, 0]
+
+    def test_epsilon_one_is_uniform_exploration(self):
+        counts = GreedyAllocator(epsilon=1.0).allocate(HOT_COLD, 400, _rng(3))
+        assert all(c > 0 for c in counts)
+        assert max(counts) < 200  # nowhere near pure exploitation
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            GreedyAllocator(epsilon=1.5)
+
+
+class TestFactory:
+    def test_spellings(self):
+        assert make_allocator("thompson").name == "thompson"
+        assert make_allocator("uniform").name == "uniform"
+        assert make_allocator("greedy").name == "greedy"
+
+    def test_greedy_epsilon_spec(self):
+        alloc = make_allocator("greedy-25")
+        assert isinstance(alloc, GreedyAllocator)
+        assert alloc.epsilon == pytest.approx(0.25)
+
+    def test_unknown_and_malformed(self):
+        with pytest.raises(ValueError):
+            make_allocator("ucb")
+        with pytest.raises(ValueError):
+            make_allocator("greedy-lots")

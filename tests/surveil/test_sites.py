@@ -1,0 +1,98 @@
+"""Site specs and fleet generators."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import PriorSpec
+from repro.lattice.states import StateSpace
+from repro.surveil.sites import (
+    SiteSpec,
+    epidemic_fleet,
+    heterogeneous_fleet,
+    household_fleet,
+    make_fleet,
+)
+
+
+class TestSiteSpec:
+    def test_uniform_day_is_stationary(self):
+        spec = SiteSpec(name="s", cohort_size=8, prevalence=0.05)
+        assert spec.day_prevalence(0) == spec.day_prevalence(11) == pytest.approx(0.05)
+
+    def test_epidemic_prevalence_moves_with_rounds(self):
+        spec = SiteSpec(name="s", cohort_size=8, kind="epidemic",
+                        sir_beta=0.4, sir_gamma=0.05, sir_i0=0.01)
+        early, late = spec.day_prevalence(0), spec.day_prevalence(40)
+        assert late > early  # pre-peak the wave is rising
+
+    def test_phase_advances_the_wave(self):
+        base = dict(name="s", cohort_size=8, kind="epidemic",
+                    sir_beta=0.4, sir_gamma=0.05, sir_i0=0.01)
+        assert (SiteSpec(phase=30, **base).day_prevalence(0)
+                == pytest.approx(SiteSpec(phase=0, **base).day_prevalence(30)))
+
+    def test_household_prevalence_is_intro_times_attack(self):
+        spec = SiteSpec(name="s", cohort_size=6, kind="household",
+                        households=(3, 3), intro_prob=0.2, attack_rate=0.5)
+        assert spec.day_prevalence(3) == pytest.approx(0.1)
+
+    def test_build_day_uniform(self):
+        spec = SiteSpec(name="s", cohort_size=8, prevalence=0.05)
+        prior, model, correlated = spec.build_day(0, np.random.default_rng(0))
+        assert isinstance(prior, PriorSpec) and prior.n_items == 8
+        assert not correlated
+
+    def test_build_day_household_is_correlated_space(self):
+        spec = SiteSpec(name="s", cohort_size=6, kind="household",
+                        households=(3, 3), intro_prob=0.1)
+        space, model, correlated = spec.build_day(0, np.random.default_rng(0))
+        assert isinstance(space, StateSpace)
+        assert correlated
+
+    def test_build_day_seeded_determinism(self):
+        spec = SiteSpec(name="s", cohort_size=8, prevalence=0.05, dispersion=6.0)
+        a, _, _ = spec.build_day(2, np.random.default_rng(7))
+        b, _, _ = spec.build_day(2, np.random.default_rng(7))
+        assert np.array_equal(a.risks, b.risks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteSpec(name="s", cohort_size=8, kind="nope")
+        with pytest.raises(ValueError):
+            SiteSpec(name="s", cohort_size=8, kind="household")  # no households
+        with pytest.raises(ValueError):
+            SiteSpec(name="s", cohort_size=8, kind="household", households=(3, 3))
+
+
+class TestFleets:
+    def test_heterogeneous_spans_prevalence_range(self):
+        fleet = heterogeneous_fleet(8, seed=1, low=0.005, high=0.12)
+        prevs = sorted(s.prevalence for s in fleet)
+        assert prevs[0] == pytest.approx(0.005)
+        assert prevs[-1] == pytest.approx(0.12)
+        assert len(fleet) == 8
+
+    def test_heterogeneous_seeded_shuffle(self):
+        assert heterogeneous_fleet(6, seed=3) == heterogeneous_fleet(6, seed=3)
+        a = [s.prevalence for s in heterogeneous_fleet(6, seed=3)]
+        b = [s.prevalence for s in heterogeneous_fleet(6, seed=4)]
+        assert sorted(a) == pytest.approx(sorted(b))
+        assert a != b  # different placement of the same prevalences
+
+    def test_epidemic_staggers_phases(self):
+        fleet = epidemic_fleet(4, stagger_days=10, seed=0)
+        assert [s.phase for s in fleet] == [0, 10, 20, 30]
+        assert all(s.kind == "epidemic" for s in fleet)
+
+    def test_household_fleet_shapes(self):
+        fleet = household_fleet(3, cohort_size=6, household_size=3)
+        assert all(s.households == (3, 3) for s in fleet)
+        with pytest.raises(ValueError):
+            household_fleet(3, cohort_size=7, household_size=3)
+
+    def test_make_fleet_dispatch(self):
+        assert make_fleet("heterogeneous", 3)[0].kind == "uniform"
+        assert make_fleet("epidemic", 3)[0].kind == "epidemic"
+        assert make_fleet("household", 3, cohort_size=6)[0].kind == "household"
+        with pytest.raises(ValueError):
+            make_fleet("flotilla", 3)

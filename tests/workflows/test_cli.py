@@ -91,6 +91,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "totals:" in out
 
+    def test_surveillance_backend_flag(self, capsys):
+        rc = main(["surveillance", "--days", "2", "--cohort", "6", "--assay",
+                   "perfect", "--seed", "4", "--backend", "sparse"])
+        assert rc == 0
+        assert "totals:" in capsys.readouterr().out
+
+    def test_surveil_runs(self, capsys):
+        rc = main(["surveil", "--sites", "3", "--cohort", "6", "--rounds", "2",
+                   "--budget", "2", "--seed", "1", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Surveil campaign (thompson allocator)" in out
+        assert "site-00" in out
+        assert "learned hyperprior mean" in out
+
+    def test_surveil_json_deterministic(self, capsys):
+        argv = ["surveil", "--json", "--sites", "3", "--cohort", "6",
+                "--rounds", "2", "--budget", "2", "--seed", "1", "--workers", "2"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_surveil_rejects_bad_allocator(self, capsys):
+        assert main(["surveil", "--allocator", "ucb", "--rounds", "1"]) == 2
+        assert "unknown allocator" in capsys.readouterr().err
+
     def test_screen_deterministic(self, capsys):
         argv = ["screen", "--cohort", "8", "--seed", "7", "--assay", "binary",
                 "--workers", "2"]

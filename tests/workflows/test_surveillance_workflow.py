@@ -37,6 +37,27 @@ class TestSurveillance:
     def test_detection_bookkeeping(self, campaign):
         assert campaign.detected_positives() == campaign.true_positives_present()
 
+    @pytest.mark.parametrize("backend", ["sparse", "particle"])
+    def test_backend_parameter(self, backend):
+        campaign = run_surveillance(
+            PerfectTest(), BHAPolicy, days=2, cohort_size=8, rng=0,
+            max_stages=30, backend=backend,
+        )
+        assert len(campaign.days) == 2
+        assert campaign.total_individuals == 16
+
+    def test_dense_backend_is_default_path(self):
+        prev = np.array([0.05, 0.05])
+        dense = run_surveillance(
+            PerfectTest(), BHAPolicy, cohort_size=8, rng=2, prevalence=prev
+        )
+        explicit = run_surveillance(
+            PerfectTest(), BHAPolicy, cohort_size=8, rng=2, prevalence=prev,
+            backend="dense",
+        )
+        assert dense.total_tests == explicit.total_tests
+        assert np.array_equal(dense.accuracy_series(), explicit.accuracy_series())
+
     def test_explicit_prevalence_series(self):
         prev = np.array([0.01, 0.2])
         campaign = run_surveillance(
