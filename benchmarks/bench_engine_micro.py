@@ -233,6 +233,117 @@ def test_engine_flight_recorder_overhead_small():
     assert end_to_end < 0.02 or budget < 0.02
 
 
+def test_engine_hub_and_sampler_overhead_small():
+    """Metrics hub folding plus a 100 Hz sampler cost <3% on the micro-job.
+
+    This is the CI acceptance bound for the observability stack (PR 8):
+    a context whose bus feeds a :class:`HubMetricsListener` while a
+    100 Hz :class:`Sampler` is installed must stay within 3% of an
+    events-off context.  Same dual measurement as the flight-recorder
+    gate — either may satisfy the bound:
+
+    * end-to-end — interleaved best-of-rounds medians, with the sampler
+      running only during the instrumented rounds.
+    * budget — folded events (cache/shuffle/retry, which the listener
+      actually handles) priced at the measured bus-post + hub-fold
+      cost, the rest at the dispatch-only cost, divided by the baseline
+      job wall; plus the sampler's duty cycle (per-tick frame-walk cost
+      x hz), the CPU fraction the sampling thread can consume.
+    """
+    import statistics
+    import time
+    import timeit
+
+    from repro.engine.listener import (
+        CacheEvict,
+        CacheHit,
+        CacheMiss,
+        EngineListener,
+        EventBus,
+        ShuffleFetch,
+        ShuffleWrite,
+        TaskEnd,
+        TaskRetry,
+    )
+    from repro.obs.metrics import HubMetricsListener, MetricsHub
+    from repro.obs.sampler import Sampler
+
+    def round_median(c: Context, reps: int = 7) -> float:
+        walls = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _shuffle_job(c)
+            walls.append(time.perf_counter() - t0)
+        return statistics.median(walls)
+
+    sampler = Sampler(hz=100.0)
+    with Context(config=_config(enable_events=False)) as base, Context(
+        config=_config(enable_events=True)
+    ) as inst:
+        inst.add_listener(HubMetricsListener(inst.metrics_hub))
+        _shuffle_job(base)  # warm up both
+        _shuffle_job(inst)
+        base_medians, inst_medians = [], []
+        for _ in range(7):
+            base_medians.append(round_median(base))
+            sampler.start().install()
+            try:
+                inst_medians.append(round_median(inst))
+            finally:
+                sampler.stop()
+                sampler.uninstall()
+    off, on = min(base_medians), min(inst_medians)
+    end_to_end = (on - off) / off
+
+    folded_types = (
+        CacheEvict, CacheHit, CacheMiss, ShuffleFetch, ShuffleWrite, TaskRetry,
+    )
+
+    class _CountingListener(EngineListener):
+        def __init__(self):
+            self.total = 0
+            self.folded = 0
+
+        def on_event(self, event) -> None:
+            self.total += 1
+            if isinstance(event, folded_types):
+                self.folded += 1
+
+    with Context(config=_config(enable_events=True)) as c:
+        counter = _CountingListener()
+        c.add_listener(counter)
+        _shuffle_job(c)
+
+    bus = EventBus()
+    bus.register(HubMetricsListener(MetricsHub()))
+    reps = 20_000
+
+    def timed(make_event) -> float:
+        return min(
+            timeit.repeat(lambda: bus.post(make_event()), number=reps, repeat=5)
+        ) / reps
+
+    per_fold = timed(lambda: ShuffleWrite(3, 0, 10, buffer_bytes=2048))
+    per_dispatch = timed(lambda: TaskEnd(1, 2, 0.5, 1))  # no handler: dispatch only
+    ticks = 2_000
+    per_tick = min(
+        timeit.repeat(lambda: sampler._sample_once(), number=ticks, repeat=5)
+    ) / ticks
+    event_cost = (
+        counter.folded * per_fold + (counter.total - counter.folded) * per_dispatch
+    )
+    budget = event_cost / off + per_tick * sampler.hz
+
+    print(
+        f"\nhub+sampler overhead: end-to-end {end_to_end:+.2%}, "
+        f"budget {budget:.2%} ({counter.folded}/{counter.total} folded events "
+        f"x {per_fold * 1e9:.0f}ns (dispatch {per_dispatch * 1e9:.0f}ns) "
+        f"+ {per_tick * 1e6:.1f}us ticks at {sampler.hz:.0f}Hz "
+        f"on a {off * 1000:.2f}ms job)"
+    )
+    assert end_to_end < 0.03 or budget < 0.03
+
+
 # ---------------------------------------------------------------------------
 # Process-mode data plane guards.  These pin the two structural wins of
 # the data-plane work: the worker-resident block cache (repeated actions

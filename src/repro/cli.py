@@ -8,6 +8,8 @@ Commands covering the workflows a surveillance program actually runs:
 * ``surveil``      — a multi-site campaign with Thompson-sampling
   budget allocation (:mod:`repro.surveil`);
 * ``scenarios``    — list the named (prior, assay) presets;
+* ``metrics``      — run a reference screen and print the metrics hub
+  (``--prom`` for the Prometheus text exposition);
 * ``serve``        — the asyncio JSON API server (``repro.serve``);
 * ``trace``        — summarize a JSONL trace captured with ``--trace``
   (or :meth:`Tracer.dump_jsonl` / :meth:`MetricsRegistry.dump_jsonl`);
@@ -22,6 +24,7 @@ the equivalent request, so CLI runs and API responses are diffable.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional
@@ -82,6 +85,43 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
                    help=f"posterior representation ({BACKEND_HELP})")
 
 
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", metavar="PREFIX", default=None,
+                   help="attach the sampling profiler; writes PREFIX.collapsed "
+                        "(flamegraph.pl/speedscope input) and PREFIX.html "
+                        "(self-contained flamegraph)")
+    p.add_argument("--profile-hz", type=float, default=100.0,
+                   help="profiler sampling rate (default 100)")
+
+
+@contextlib.contextmanager
+def _profiled(args: argparse.Namespace, title: str):
+    """Sample the wrapped command run and write the profile artifacts.
+
+    Engine work in serial/thread mode is sampled directly; pre-forked
+    process workers relay their samples through task results (see
+    :mod:`repro.obs.sampler`).
+    """
+    from repro.obs.sampler import Sampler
+
+    sampler = Sampler(hz=args.profile_hz).start().install()
+    try:
+        yield
+    finally:
+        sampler.stop()
+        sampler.uninstall()
+        collapsed, html = f"{args.profile}.collapsed", f"{args.profile}.html"
+        try:
+            stacks = sampler.dump_collapsed(collapsed)
+            sampler.dump_flamegraph(html, title=title)
+        except OSError as exc:
+            print(f"error: cannot write profile to {args.profile}.*: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"profile: {sampler.sample_count} samples over {stacks} "
+                  f"stacks -> {collapsed}, {html}", file=sys.stderr)
+
+
 def _add_assay_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--assay", choices=["perfect", "binary", "dilution"], default="dilution")
     p.add_argument("--sensitivity", type=float, default=0.98)
@@ -117,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(open in chrome://tracing or Perfetto)")
     p_screen.add_argument("--json", action="store_true",
                           help="emit the API payload (same shape as POST /screen)")
+    _add_profile_args(p_screen)
     _add_backend_arg(p_screen)
     _add_assay_args(p_screen)
 
@@ -165,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(open in chrome://tracing or Perfetto)")
     p_sv.add_argument("--json", action="store_true",
                       help="emit the API payload (same shape as POST /surveil)")
+    _add_profile_args(p_sv)
     _add_backend_arg(p_sv)
     _add_assay_args(p_sv)
     # Match the server-side default so `repro surveil --json` with no
@@ -172,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.set_defaults(assay="binary")
 
     sub.add_parser("scenarios", help="list named scenario presets")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a reference screen and print the metrics hub"
+    )
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="Prometheus text exposition instead of JSON")
+    p_metrics.add_argument("--cohort", type=int, default=12)
+    p_metrics.add_argument("--prevalence", type=float, default=0.05)
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--workers", type=int, default=4)
+    p_metrics.add_argument("--mode", choices=["serial", "threads", "processes"],
+                           default="threads",
+                           help="executor backend of the reference screen")
 
     p_serve = sub.add_parser("serve", help="run the asyncio JSON API server")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -492,6 +547,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import HubMetricsListener
+
+    prior = PriorSpec.uniform(args.cohort, args.prevalence)
+    model = make_model("dilution", 0.98, 0.995, 0.3)
+    config = SBGTConfig()
+    with Context(mode=args.mode, parallelism=args.workers) as ctx:
+        ctx.add_listener(HubMetricsListener(ctx.metrics_hub))
+        session = SBGTSession(ctx, prior, model, config)
+        session.run_screen(make_policy("bha"), rng=args.seed)
+        session.close()
+        if args.prom:
+            print(ctx.metrics_hub.render_prometheus(), end="")
+        else:
+            print(json.dumps(ctx.metrics_hub.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     rows = [[name, s.description] for name, s in sorted(SCENARIOS.items())]
     print(format_table(["name", "description"], rows, title="Scenario presets"))
@@ -645,6 +718,7 @@ _COMMANDS = {
     "surveillance": _cmd_surveillance,
     "surveil": _cmd_surveil,
     "scenarios": _cmd_scenarios,
+    "metrics": _cmd_metrics,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
@@ -653,7 +727,11 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    if getattr(args, "profile", None):
+        with _profiled(args, title=f"repro {args.command}"):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution path

@@ -73,7 +73,14 @@ class Context:
             self.event_bus.register(self.flight_recorder)
         self.shuffle_manager = ShuffleManager(bus=self.event_bus)
         self.block_store = BlockStore(self.config.cache_capacity_bytes, bus=self.event_bus)
-        self.metrics = MetricsRegistry()
+        # The context's labelled-metrics hub: the registry publishes job
+        # rollups into it and sinks (serve /metrics, Prometheus
+        # exposition, CLI) snapshot it.  Lazily imported like the flight
+        # recorder — repro.obs sits above the engine.
+        from repro.obs.metrics import MetricsHub
+
+        self.metrics_hub = MetricsHub()
+        self.metrics = MetricsRegistry(hub=self.metrics_hub)
         self.accumulator_registry = AccumulatorRegistry()
         self._scheduler = Scheduler(self)
         self._rdd_ids = itertools.count()
@@ -227,6 +234,7 @@ class Context:
         self.flight_recorder = None
         self.shuffle_manager = None  # workers read shuffles via TaskEnv
         self.block_store = None
+        self.metrics_hub = None
         self.metrics = None
         self.accumulator_registry = None
         self._scheduler = None

@@ -32,10 +32,16 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import contextvars
+import gc
 import multiprocessing
 import os
 import threading
 import time
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -105,6 +111,18 @@ class TaskEnv:
         )
 
 
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (``ru_maxrss`` unit on Linux); 0 if unknown."""
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _gc_collections() -> int:
+    """Total GC collection passes across all generations so far."""
+    return sum(s["collections"] for s in gc.get_stats())
+
+
 @dataclass
 class Task:
     """One partition's worth of work for one stage."""
@@ -123,6 +141,10 @@ class Task:
     source_payload: Optional[Dict[Tuple[int, int], list]] = None
     # Process mode only: capacity for the lazily-created worker store.
     worker_cache_bytes: int = 0
+    # Sampling-profiler rate stamped by the scheduler when a sampler is
+    # installed (process mode relays worker samples via the TaskResult;
+    # serial/thread tasks are visible to the driver sampler directly).
+    profile_hz: float = 0.0
 
     def run(self, env: TaskEnv) -> "TaskResult":
         open_task_staging()
@@ -131,13 +153,25 @@ class Task:
         # ordering exporters can trust.
         t0_wall = time.time()
         worker = f"{os.getpid()}/{threading.current_thread().name}"
+        # thread_time is the per-thread CPU clock: in thread mode it
+        # attributes CPU to *this* task even while siblings run, which a
+        # process-wide getrusage CPU reading cannot.
+        t0_cpu = time.thread_time()
+        rss0 = _peak_rss_kb()
+        gc0 = _gc_collections()
         t0 = time.perf_counter()
         try:
             value = self.body(env)
         finally:
             deltas = close_task_staging()
         wall = time.perf_counter() - t0
-        return TaskResult(self.partition, value, deltas, wall, t0_wall=t0_wall, worker=worker)
+        result = TaskResult(
+            self.partition, value, deltas, wall, t0_wall=t0_wall, worker=worker
+        )
+        result.cpu_s = max(0.0, time.thread_time() - t0_cpu)
+        result.rss_peak_kb = max(0, _peak_rss_kb() - rss0)
+        result.gc_collections = max(0, _gc_collections() - gc0)
+        return result
 
 
 @dataclass
@@ -155,6 +189,16 @@ class TaskResult:
     #: size)`` tuples; the driver replays them onto its bus (process mode
     #: has no live event channel from the workers).
     cache_events: List[tuple] = field(default_factory=list)
+    #: Per-task CPU seconds on the executing thread's CPU clock.
+    cpu_s: float = 0.0
+    #: Growth of the executing process's peak RSS during the task, KiB.
+    rss_peak_kb: int = 0
+    #: GC collection passes that ran during the task.
+    gc_collections: int = 0
+    #: Collapsed-stack ``(stack, count)`` samples drained from a process
+    #: worker's sampler; the driver folds them into the installed
+    #: :class:`~repro.obs.sampler.Sampler` (same relay as cache_events).
+    profile_samples: List[tuple] = field(default_factory=list)
 
 
 class BaseExecutor:
@@ -204,6 +248,9 @@ class BaseExecutor:
                         attempt,
                         t0_wall=result.t0_wall,
                         worker=result.worker,
+                        cpu_s=result.cpu_s,
+                        rss_peak_kb=result.rss_peak_kb,
+                        gc_collections=result.gc_collections,
                     )
                 )
             return result
@@ -317,8 +364,15 @@ def _replay_cache_events(bus: EventBus, events: List[tuple]) -> None:
             bus.post(CacheEvict(rdd_id, partition, size))
 
 
+#: Whether this worker currently runs a sampler (so a profile_hz of 0
+#: still stops and drains it exactly once, without importing repro.obs
+#: on the never-profiled fast path).
+_WORKER_PROFILING = False
+
+
 def _process_worker_run(task_bytes: bytes, task_buffers: List[bytearray]) -> Tuple[bytes, List[bytearray]]:
     """Worker-side entry: rebuild the task, run against a payload env."""
+    global _WORKER_PROFILING
     task: Task = closure_mod.deserialize_oob(task_bytes, task_buffers)
     store = _worker_store(task.worker_cache_bytes)
     tap = _CacheEventTap()
@@ -334,6 +388,11 @@ def _process_worker_run(task_bytes: bytes, task_buffers: List[bytearray]) -> Tup
     finally:
         store._bus = None
     result.cache_events = tap.events
+    if task.profile_hz > 0 or _WORKER_PROFILING:
+        from repro.obs.sampler import worker_sync  # lazy: obs sits above engine
+
+        result.profile_samples = worker_sync(task.profile_hz)
+        _WORKER_PROFILING = task.profile_hz > 0
     return closure_mod.serialize_oob(result)
 
 
@@ -410,6 +469,10 @@ class ProcessExecutor(BaseExecutor):
                         res: TaskResult = closure_mod.deserialize_oob(*fut.result())
                         res.attempts = pending[i] + 1
                         results[i] = res
+                        if res.profile_samples:
+                            from repro.obs.sampler import merge_into_installed
+
+                            merge_into_installed(res.profile_samples)
                         if bus:
                             bus.post(
                                 TaskEnd(
@@ -419,6 +482,9 @@ class ProcessExecutor(BaseExecutor):
                                     res.attempts,
                                     t0_wall=res.t0_wall,
                                     worker=res.worker,
+                                    cpu_s=res.cpu_s,
+                                    rss_peak_kb=res.rss_peak_kb,
+                                    gc_collections=res.gc_collections,
                                 )
                             )
                             _replay_cache_events(bus, res.cache_events)

@@ -172,6 +172,12 @@ class TaskEnd(EngineEvent):
     can place the task slice on the true timeline even though the event
     itself is posted from the driver.  ``worker`` identifies the
     executing worker as ``"<pid>/<thread-name>"``.
+
+    ``cpu_s`` / ``rss_peak_kb`` / ``gc_collections`` are the task's
+    resource telemetry, measured where the task ran (thread CPU clock,
+    ``getrusage`` peak-RSS growth, GC passes) and relayed through the
+    :class:`~repro.engine.executor.TaskResult` in process mode — the
+    same channel the cache events ride.
     """
 
     stage_id: int
@@ -180,6 +186,9 @@ class TaskEnd(EngineEvent):
     attempts: int = 1
     t0_wall: float = 0.0
     worker: str = ""
+    cpu_s: float = 0.0
+    rss_peak_kb: int = 0
+    gc_collections: int = 0
 
 
 @dataclass

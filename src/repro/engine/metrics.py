@@ -55,6 +55,12 @@ class TaskMetrics:
     wall_s: float = 0.0
     records_out: int = 0
     attempts: int = 1
+    #: CPU seconds on the executing thread's CPU clock.
+    cpu_s: float = 0.0
+    #: Growth of the executing process's peak RSS during the task, KiB.
+    rss_peak_kb: int = 0
+    #: GC collection passes that ran during the task.
+    gc_collections: int = 0
 
 
 @dataclass
@@ -74,6 +80,19 @@ class StageMetrics:
         return max((t.wall_s for t in self.tasks), default=0.0)
 
     @property
+    def cpu_time_s(self) -> float:
+        return sum(t.cpu_s for t in self.tasks)
+
+    @property
+    def rss_peak_kb(self) -> int:
+        """Largest per-task peak-RSS growth in the stage, KiB."""
+        return max((t.rss_peak_kb for t in self.tasks), default=0)
+
+    @property
+    def gc_collections(self) -> int:
+        return sum(t.gc_collections for t in self.tasks)
+
+    @property
     def skew(self) -> float:
         """Max/mean task time — 1.0 is perfectly balanced partitions."""
         if not self.tasks:
@@ -88,6 +107,14 @@ class JobMetrics:
     description: str = ""
     wall_s: float = 0.0
     stages: List[StageMetrics] = field(default_factory=list)
+    #: Originating trace id ("" when the job ran outside a trace scope).
+    trace_id: str = ""
+    #: Wall-clock epoch seconds at job start/end (0.0 = not stamped);
+    #: derived from perf_counter + tracing.EPOCH_OFFSET so JSONL rollups
+    #: join against tracer and flight-recorder output.
+    t0_wall: float = 0.0
+    t1_wall: float = 0.0
+    succeeded: bool = True
 
     @property
     def num_tasks(self) -> int:
@@ -105,22 +132,82 @@ class JobMetrics:
             "tasks": float(self.num_tasks),
             "task_time_s": sum(s.task_time_s for s in self.stages),
             "overhead_s": self.scheduling_overhead_s,
+            "cpu_s": sum(s.cpu_time_s for s in self.stages),
+            "rss_peak_kb": float(max((s.rss_peak_kb for s in self.stages), default=0)),
+            "gc_collections": float(sum(s.gc_collections for s in self.stages)),
         }
 
 
 class MetricsRegistry:
-    """Thread-safe sink for completed job metrics."""
+    """Thread-safe sink for completed job metrics.
 
-    def __init__(self, keep_last: int = 256) -> None:
+    When bound to a :class:`~repro.obs.metrics.MetricsHub` (duck-typed;
+    this module never imports the obs layer), every recorded job also
+    rolls into the hub's labelled ``repro_engine_*`` families, so the
+    Prometheus exposition and the serve ``/metrics`` document see job,
+    task, CPU, RSS and GC totals in every executor mode — the registry
+    is fed by the scheduler directly, bus or no bus.
+    """
+
+    def __init__(self, keep_last: int = 256, hub=None) -> None:
         self._jobs: List[JobMetrics] = []
         self._keep = keep_last
         self._lock = threading.Lock()
+        self._hub = None
+        if hub is not None:
+            self.bind_hub(hub)
+
+    def bind_hub(self, hub) -> None:
+        """Publish job rollups into *hub* from now on."""
+        self._hub = hub
+        self._h_jobs = hub.counter(
+            "repro_engine_jobs_total", "Completed engine jobs by outcome",
+            labels=("status",),
+        )
+        self._h_job_seconds = hub.histogram(
+            "repro_engine_job_seconds", "End-to-end job wall time"
+        )
+        self._h_tasks = hub.counter(
+            "repro_engine_tasks_total", "Tasks that produced a result"
+        )
+        self._h_task_seconds = hub.histogram(
+            "repro_engine_task_seconds", "Per-task wall time"
+        )
+        self._h_cpu = hub.counter(
+            "repro_engine_task_cpu_seconds_total", "CPU seconds consumed by tasks"
+        )
+        self._h_gc = hub.counter(
+            "repro_engine_task_gc_collections_total",
+            "GC collection passes observed during tasks",
+        )
+        self._h_rss = hub.gauge(
+            "repro_engine_task_rss_peak_kb",
+            "Largest single-task peak-RSS growth seen, KiB",
+        )
+        self._h_overhead = hub.counter(
+            "repro_engine_scheduler_overhead_seconds_total",
+            "Job wall time outside the critical stage path",
+        )
+
+    def _publish(self, job: JobMetrics) -> None:
+        self._h_jobs.labels(status="ok" if job.succeeded else "failed").inc()
+        self._h_job_seconds.observe(job.wall_s, trace_id=job.trace_id or None)
+        self._h_overhead.inc(job.scheduling_overhead_s)
+        for stage in job.stages:
+            for task in stage.tasks:
+                self._h_tasks.inc()
+                self._h_task_seconds.observe(task.wall_s)
+                self._h_cpu.inc(task.cpu_s)
+                self._h_gc.inc(task.gc_collections)
+                self._h_rss.set_max(task.rss_peak_kb)
 
     def record(self, job: JobMetrics) -> None:
         with self._lock:
             self._jobs.append(job)
             if len(self._jobs) > self._keep:
                 del self._jobs[: len(self._jobs) - self._keep]
+        if self._hub is not None:
+            self._publish(job)
 
     @property
     def jobs(self) -> List[JobMetrics]:
@@ -140,7 +227,10 @@ class MetricsRegistry:
 
         The layout mirrors the in-memory hierarchy (job → stages →
         tasks) so a trace viewer can reconstruct the stage tree without
-        this package installed.
+        this package installed.  Each job line carries its wall-clock
+        start/end (``t0_wall``/``t1_wall``, epoch seconds via
+        ``tracing.EPOCH_OFFSET``) and originating ``trace_id``, so these
+        rollups join against tracer and flight-recorder output.
         """
         jobs = self.jobs
         with open(path, "w", encoding="utf-8") as fh:
@@ -152,6 +242,9 @@ class MetricsRegistry:
                             "job_id": job.job_id,
                             "description": job.description,
                             "wall_s": job.wall_s,
+                            "t0_wall": job.t0_wall,
+                            "t1_wall": job.t1_wall,
+                            "trace_id": job.trace_id,
                             "stages": [
                                 {
                                     "stage_id": s.stage_id,

@@ -20,8 +20,22 @@ from repro.engine.executor import Task, TaskEnv
 from repro.engine.listener import JobEnd, JobStart, StageEnd, StageStart
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
 from repro.engine.rdd import RDD, TaskContext
+from repro.engine.tracing import EPOCH_OFFSET, current_trace_id
 
 __all__ = ["Scheduler"]
+
+
+def _installed_profile_hz() -> float:
+    """Sampling rate of the installed profiler (0.0 = not profiling).
+
+    Imported lazily — :mod:`repro.obs` sits above the engine (the
+    flight-recorder precedent in :class:`~repro.engine.context.Context`).
+    """
+    try:
+        from repro.obs.sampler import current_profile_hz
+    except ImportError:  # pragma: no cover - obs layer always ships
+        return 0.0
+    return current_profile_hz()
 
 
 def _make_map_body(rdd: RDD, partition: int, stage_id: int, dep) -> Callable[[TaskEnv], list]:
@@ -83,7 +97,9 @@ class Scheduler:
         ctx.ensure_running()
         bus = ctx.event_bus
         job = JobMetrics(job_id=next(self._job_ids), description=description)
+        job.trace_id = current_trace_id()
         t_job = time.perf_counter()
+        job.t0_wall = t_job + EPOCH_OFFSET
         if bus:
             bus.post(JobStart(job_id=job.job_id, description=description))
 
@@ -120,7 +136,10 @@ class Scheduler:
                     pass
             raise
         finally:
-            job.wall_s = time.perf_counter() - t_job
+            t1 = time.perf_counter()
+            job.wall_s = t1 - t_job
+            job.t1_wall = t1 + EPOCH_OFFSET
+            job.succeeded = succeeded
             ctx.metrics.record(job)
             if bus:
                 bus.post(JobEnd(job_id=job.job_id, wall_s=job.wall_s, succeeded=succeeded))
@@ -160,7 +179,9 @@ class Scheduler:
             return
         mgr = ctx.shuffle_manager
         worker_cache_bytes = ctx.config.worker_cache_capacity_bytes
+        profile_hz = _installed_profile_hz()
         for task, p in zip(tasks, parts):
+            task.profile_hz = profile_hz
             shuffle: Dict[Tuple[int, int], list] = {}
             gens: Dict[int, int] = {}
             sources: Dict[Tuple[int, int], list] = {}
@@ -198,7 +219,15 @@ class Scheduler:
             ctx.shuffle_manager.put(dep.shuffle_id, res.partition, res.value)
             ctx.accumulator_registry.merge_deltas(res.acc_deltas)
             sm.tasks.append(
-                TaskMetrics(stage.id, res.partition, res.wall_s, attempts=res.attempts)
+                TaskMetrics(
+                    stage.id,
+                    res.partition,
+                    res.wall_s,
+                    attempts=res.attempts,
+                    cpu_s=res.cpu_s,
+                    rss_peak_kb=res.rss_peak_kb,
+                    gc_collections=res.gc_collections,
+                )
             )
         sm.wall_s = time.perf_counter() - t0
         job.stages.append(sm)
@@ -224,7 +253,17 @@ class Scheduler:
         for p in parts:
             res = by_partition[p]
             ctx.accumulator_registry.merge_deltas(res.acc_deltas)
-            sm.tasks.append(TaskMetrics(stage.id, p, res.wall_s, attempts=res.attempts))
+            sm.tasks.append(
+                TaskMetrics(
+                    stage.id,
+                    p,
+                    res.wall_s,
+                    attempts=res.attempts,
+                    cpu_s=res.cpu_s,
+                    rss_peak_kb=res.rss_peak_kb,
+                    gc_collections=res.gc_collections,
+                )
+            )
             out.append(res.value)
         sm.wall_s = time.perf_counter() - t0
         job.stages.append(sm)

@@ -143,6 +143,9 @@ DRIVER_TAGS = frozenset(
         "PosteriorBackend",
         "Campaign",
         "BudgetAllocator",
+        "MetricsHub",
+        "MetricInstrument",
+        "Sampler",
     }
 )
 
@@ -171,6 +174,9 @@ _CONSTRUCTOR_TAGS = {
     "ThompsonAllocator": "BudgetAllocator",
     "UniformAllocator": "BudgetAllocator",
     "GreedyAllocator": "BudgetAllocator",
+    "MetricsHub": "MetricsHub",
+    "default_hub": "MetricsHub",
+    "Sampler": "Sampler",
     "Lock": "Lock",
     "RLock": "Lock",
     "Condition": "Lock",
@@ -199,7 +205,15 @@ _ATTRIBUTE_TAGS = {
     "shuffle_manager": "ShuffleManager",
     "flight_recorder": "FlightRecorder",
     "executor": "Executor",
+    "metrics_hub": "MetricsHub",
 }
+
+# Hub method-call results are labelled instruments (driver-resident,
+# like the hub itself).  ``histogram`` is ambiguous — RDDs have a
+# ``.histogram(...)`` action returning plain arrays — so it only tags
+# when the receiver is recognizably a hub.
+_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "labels"})
+_HUB_RECEIVERS = frozenset({"hub", "metrics_hub", "_hub"})
 
 # Method-call results: ``ctx.parallelize(...)`` is an RDD, and so is any
 # transform-chain tail (``.map(...)``, ``.cache()`` …).
@@ -230,6 +244,11 @@ _ANNOTATION_TAGS = {
     "ThompsonAllocator": "BudgetAllocator",
     "UniformAllocator": "BudgetAllocator",
     "GreedyAllocator": "BudgetAllocator",
+    "MetricsHub": "MetricsHub",
+    "Sampler": "Sampler",
+    "Counter": "MetricInstrument",
+    "Gauge": "MetricInstrument",
+    "Histogram": "MetricInstrument",
 }
 
 
@@ -263,6 +282,13 @@ def infer_type_tag(value: ast.AST) -> Optional[str]:
             return "Broadcast"
         if name == "accumulator":
             return "Accumulator"
+        if isinstance(value.func, ast.Attribute):
+            if name in _INSTRUMENT_METHODS:
+                return "MetricInstrument"
+            if name == "histogram":
+                recv = dotted_name(value.func.value)
+                if recv and recv.split(".")[-1] in _HUB_RECEIVERS:
+                    return "MetricInstrument"
         if name in _RDD_PRODUCERS and isinstance(value.func, ast.Attribute):
             return "RDD"
         if name == "range" and isinstance(value.func, ast.Attribute):

@@ -10,10 +10,32 @@ The :mod:`repro.obs.flight` flight recorder is the always-on
 counterpart (registered by every :class:`~repro.engine.Context` unless
 configured off), and :mod:`repro.obs.chrome` renders either source into
 Chrome trace-event JSON for ``chrome://tracing`` / Perfetto.
+
+:mod:`repro.obs.metrics` is the labelled metrics core — every
+:class:`~repro.engine.Context` owns a :class:`MetricsHub` that engine,
+serve and surveil telemetry folds into, with one snapshot feeding both
+the JSON ``/metrics`` document and the Prometheus text exposition.
+:mod:`repro.obs.sampler` adds a wall-clock sampling profiler whose
+collapsed stacks render to self-contained flamegraph HTML
+(:mod:`repro.obs.flamegraph`).
 """
 
 from repro.obs.chrome import chrome_trace, read_jsonl_records, validate_chrome_trace
+from repro.obs.flamegraph import flamegraph_html, folded_lines
 from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HubMetricsListener,
+    MetricsHub,
+    bucket_quantile,
+    default_hub,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.sampler import Sampler, current_profile_hz, current_sampler
 from repro.obs.tracer import (
     PHASE_ANALYSIS,
     PHASE_LATTICE,
@@ -42,4 +64,19 @@ __all__ = [
     "chrome_trace",
     "read_jsonl_records",
     "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHub",
+    "HubMetricsListener",
+    "DEFAULT_BUCKETS",
+    "bucket_quantile",
+    "render_prometheus",
+    "validate_prometheus_text",
+    "default_hub",
+    "Sampler",
+    "current_sampler",
+    "current_profile_hz",
+    "flamegraph_html",
+    "folded_lines",
 ]

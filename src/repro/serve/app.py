@@ -12,7 +12,8 @@ registry full) instead of melting down.
 Endpoints (all JSON)::
 
     GET  /healthz                      liveness + queue depth
-    GET  /metrics                      bus-fed counters and latency histograms
+    GET  /metrics                      hub-fed counters and latency histograms
+                                       (?format=prometheus for text exposition)
     POST /calculator                   pool/don't-pool decision table
     POST /screen                       one-shot cohort classification
     POST /surveil                      whole multi-site campaign, one shot
@@ -29,6 +30,10 @@ Endpoints (all JSON)::
     GET  /debug/traces/{trace_id}      every retained event of one trace + summary
     GET  /debug/slow                   slow-op log (ops above the threshold)
     GET  /debug/chrome                 live Chrome trace-event export
+    POST /debug/profile/start          attach the sampling profiler (?hz=)
+    POST /debug/profile/stop           detach it; returns collapsed stacks
+    GET  /debug/profile                profiler status
+    GET  /debug/profile/flamegraph     flamegraph HTML of collected samples
 
 Responses for ``/calculator`` and ``/screen`` are byte-identical to
 ``python -m repro calculator --json`` / ``screen --json``; serving
@@ -146,7 +151,11 @@ class ReproServer:
         # the driver closes never reaches EOF while a long-lived worker
         # holds a duplicate.
         _ = self.ctx.executor
-        self.metrics_listener = ServeMetricsListener()
+        # One hub for everything: the engine registry publishes job
+        # rollups into ctx.metrics_hub, and the serve listener folds the
+        # bus stream into the same hub — /metrics (JSON and Prometheus)
+        # renders from that single snapshot.
+        self.metrics_listener = ServeMetricsListener(hub=self.ctx.metrics_hub)
         self.ctx.add_listener(self.metrics_listener)
         self.cache: Optional[ResultCache] = (
             ResultCache(self.config.cache_entries) if self.config.cache_entries else None
@@ -173,6 +182,8 @@ class ReproServer:
         self._started = time.monotonic()
         self._http = HttpServer(self.handle, self.config.host, self.config.port)
         self._sweeper: Optional[asyncio.Task] = None
+        # On-demand sampling profiler behind POST /debug/profile/*.
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -191,6 +202,10 @@ class ReproServer:
             self._sweeper.cancel()
             self._sweeper = None
         await self._http.close()
+        if self._profiler is not None:
+            self._profiler.stop()
+            self._profiler.uninstall()
+            self._profiler = None
         self.sessions.close_all()
         self.campaigns.close_all()
         self._executor.shutdown(wait=True, cancel_futures=True)
@@ -283,8 +298,10 @@ class ReproServer:
             if segments == ["healthz"] and method == "GET":
                 return "/healthz", self._healthz(), "computed"
             if segments == ["metrics"] and method == "GET":
-                return "/metrics", self._metrics(), "computed"
+                return "/metrics", self._metrics(request), "computed"
             if segments and segments[0] == "debug":
+                if segments[1:2] == ["profile"]:
+                    return self._debug_profile(segments[2:], method, request)
                 if method != "GET":
                     raise HttpError(405, f"{method} not allowed on /debug")
                 return self._debug(segments[1:], request)
@@ -365,7 +382,16 @@ class ReproServer:
             }
         )
 
-    def _metrics(self) -> Response:
+    def _metrics(self, request: Request) -> Response:
+        fmt = request.query.get("format", "json")
+        if fmt == "prometheus":
+            text = self.ctx.metrics_hub.render_prometheus()
+            return Response(
+                body=text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if fmt != "json":
+            raise HttpError(400, f"unknown metrics format {fmt!r} (json|prometheus)")
         doc = self.metrics_listener.snapshot()
         doc["uptime_s"] = round(time.monotonic() - self._started, 3)
         doc["batcher"]["counters"] = self.batcher.snapshot()
@@ -417,6 +443,67 @@ class ReproServer:
             records = recorder.events(trace_id=trace_id, limit=recorder.capacity)
             return "/debug/chrome", json_response(chrome_trace(records)), "computed"
         raise HttpError(404, f"no such debug endpoint: /debug/{'/'.join(rest)}")
+
+    def _debug_profile(
+        self, rest, method: str, request: Request
+    ) -> Tuple[str, Response, str]:
+        """On-demand sampling profiler: ``/debug/profile/{start,stop}``.
+
+        Start installs a :class:`~repro.obs.sampler.Sampler`, so serial
+        and thread-mode engine work is profiled directly and process-
+        mode workers relay their samples through task results.  Stop
+        detaches it and returns the collapsed stacks collected.
+        """
+        from repro.obs.sampler import Sampler
+
+        if rest == ["start"] and method == "POST":
+            if self._profiler is not None and self._profiler.running:
+                raise HttpError(409, "profiler already running; stop it first")
+            try:
+                hz = float(request.query.get("hz", "100"))
+            except ValueError:
+                raise HttpError(400, "hz must be a number") from None
+            if not 0 < hz <= 1000:
+                raise HttpError(400, "hz must be in (0, 1000]")
+            self._profiler = Sampler(hz=hz).start().install()
+            doc = {"profiling": True, **self._profiler.snapshot()}
+            return "/debug/profile/start", json_response(doc), "computed"
+        if rest == ["stop"] and method == "POST":
+            profiler = self._profiler
+            if profiler is None:
+                raise HttpError(409, "profiler is not running")
+            profiler.stop()
+            profiler.uninstall()
+            self._profiler = None
+            doc = {
+                "profiling": False,
+                **profiler.snapshot(),
+                "folded": profiler.folded(),
+            }
+            return "/debug/profile/stop", json_response(doc), "computed"
+        if rest == [] and method == "GET":
+            profiler = self._profiler
+            doc = {"profiling": False} if profiler is None else {
+                "profiling": profiler.running, **profiler.snapshot()
+            }
+            return "/debug/profile", json_response(doc), "computed"
+        if rest == ["flamegraph"] and method == "GET":
+            profiler = self._profiler
+            if profiler is None:
+                raise HttpError(409, "profiler is not running")
+            return (
+                "/debug/profile/flamegraph",
+                Response(
+                    body=profiler.flamegraph_html(title="repro serve profile").encode(
+                        "utf-8"
+                    ),
+                    content_type="text/html; charset=utf-8",
+                ),
+                "computed",
+            )
+        raise HttpError(
+            404, f"no such debug endpoint: /debug/profile/{'/'.join(rest)}"
+        )
 
     def _with_default_backend(self, payload: Any) -> Any:
         """Fill in the server's default backend when the body omits one.

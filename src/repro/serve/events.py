@@ -4,25 +4,20 @@ The server posts its own event vocabulary — request lifecycle, batch
 execution, session lifecycle — on the **same** :class:`EventBus` the
 engine emits job/stage/task/cache events on (PR 1's telemetry spine).
 :class:`ServeMetricsListener` subscribes to that bus and folds the
-combined stream into what ``GET /metrics`` reports: per-endpoint
-request counts and latency histograms, batching counters, engine job
-totals.  Nothing here polls; the bus pushes.
+combined stream into labelled :class:`~repro.obs.metrics.MetricsHub`
+instruments; both ``GET /metrics`` documents — the JSON report and the
+Prometheus text exposition — render from that one hub snapshot.
+Nothing here polls; the bus pushes.
 """
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.engine.listener import (
-    EngineEvent,
-    EngineListener,
-    JobEnd,
-    TaskEnd,
-    register_event_type,
-)
+from repro.engine.listener import EngineEvent, register_event_type
+from repro.obs.metrics import HubMetricsListener, MetricsHub, bucket_quantile
 
 __all__ = [
     "RequestEnd",
@@ -94,112 +89,146 @@ class LatencyHistogram:
             self.max_ms = ms
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile in ms."""
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                if i < len(LATENCY_BUCKETS_MS):
-                    return float(LATENCY_BUCKETS_MS[i])
-                return self.max_ms
-        return self.max_ms
+        """Interpolated q-quantile estimate in ms.
+
+        Linear within the winning bucket (the Prometheus
+        ``histogram_quantile`` convention), clamped to the observed
+        maximum so a lone sample reports itself rather than its bucket's
+        ceiling.
+        """
+        return bucket_quantile(q, LATENCY_BUCKETS_MS, self.counts, self.count, self.max_ms)
 
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
-            "p50_ms": self.quantile(0.50),
-            "p95_ms": self.quantile(0.95),
-            "p99_ms": self.quantile(0.99),
+            "p50_ms": round(self.quantile(0.50), 3),
+            "p95_ms": round(self.quantile(0.95), 3),
+            "p99_ms": round(self.quantile(0.99), 3),
             "max_ms": round(self.max_ms, 3),
             "buckets_ms": list(LATENCY_BUCKETS_MS),
             "bucket_counts": list(self.counts),
         }
 
 
-class _EndpointStats:
-    __slots__ = ("requests", "by_status", "by_source", "latency")
+def _latency_doc(child) -> Dict[str, Any]:
+    """The legacy per-endpoint latency block, read from a hub histogram."""
+    count = child.count
+    return {
+        "count": count,
+        "mean_ms": round(child.sum / count, 3) if count else 0.0,
+        "p50_ms": round(child.quantile(0.50), 3),
+        "p95_ms": round(child.quantile(0.95), 3),
+        "p99_ms": round(child.quantile(0.99), 3),
+        "max_ms": round(child.max, 3),
+        "buckets_ms": list(LATENCY_BUCKETS_MS),
+        "bucket_counts": list(child.counts),
+    }
 
-    def __init__(self) -> None:
-        self.requests = 0
-        self.by_status: Dict[str, int] = {}
-        self.by_source: Dict[str, int] = {}
-        self.latency = LatencyHistogram()
 
+class ServeMetricsListener(HubMetricsListener):
+    """Folds the bus stream into hub instruments; snapshots ``/metrics``.
 
-class ServeMetricsListener(EngineListener):
-    """Folds the bus stream into the ``/metrics`` document."""
+    Serve events become labelled ``repro_http_*`` / ``repro_serve_*``
+    families on the hub (the server passes its context's hub, so engine
+    registry rollups and the bus-only vocabularies folded by
+    :class:`~repro.obs.metrics.HubMetricsListener` land in the same
+    place).  :meth:`snapshot` then *reads back* from the hub to build
+    the JSON ``/metrics`` document — one data path feeds both the JSON
+    report and the Prometheus text exposition.
+    """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: Dict[str, _EndpointStats] = {}
-        self._batch_jobs = 0
-        self._batch_waiters = 0
-        self._sessions: Dict[str, int] = {}
-        self._engine_jobs = 0
-        self._engine_job_wall_s = 0.0
-        self._engine_tasks = 0
+    def __init__(self, hub: Optional[MetricsHub] = None) -> None:
+        super().__init__(hub if hub is not None else MetricsHub())
+        self._requests = self.hub.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint, status and response source",
+            labels=("endpoint", "status", "source"),
+        )
+        self._duration = self.hub.histogram(
+            "repro_http_request_duration_ms",
+            "HTTP request wall time, milliseconds",
+            labels=("endpoint",),
+            buckets=LATENCY_BUCKETS_MS,
+        )
+        self._batch_jobs = self.hub.counter(
+            "repro_serve_batch_jobs_total", "Coalesced micro-batch jobs executed"
+        )
+        self._batch_waiters = self.hub.counter(
+            "repro_serve_batch_waiters_total",
+            "Requests that rode a coalesced micro-batch job",
+        )
+        self._sessions = self.hub.counter(
+            "repro_serve_session_events_total",
+            "Interactive-session lifecycle events by action",
+            labels=("action",),
+        )
 
     # serve-side events -------------------------------------------------
     def on_request_end(self, event: RequestEnd) -> None:
-        with self._lock:
-            stats = self._endpoints.get(event.endpoint)
-            if stats is None:
-                stats = self._endpoints[event.endpoint] = _EndpointStats()
-            stats.requests += 1
-            status = str(event.status)
-            stats.by_status[status] = stats.by_status.get(status, 0) + 1
-            stats.by_source[event.source] = stats.by_source.get(event.source, 0) + 1
-            stats.latency.observe(event.wall_s)
+        self._requests.labels(
+            endpoint=event.endpoint, status=event.status, source=event.source
+        ).inc()
+        self._duration.labels(endpoint=event.endpoint).observe(event.wall_s * 1000.0)
 
     def on_batch_executed(self, event: BatchExecuted) -> None:
-        with self._lock:
-            self._batch_jobs += 1
-            self._batch_waiters += event.waiters
+        self._batch_jobs.inc()
+        self._batch_waiters.inc(event.waiters)
 
     def on_session_event(self, event: SessionEvent) -> None:
-        with self._lock:
-            self._sessions[event.action] = self._sessions.get(event.action, 0) + 1
-
-    # engine events (PR 1 vocabulary) -----------------------------------
-    def on_job_end(self, event: JobEnd) -> None:
-        with self._lock:
-            self._engine_jobs += 1
-            self._engine_job_wall_s += event.wall_s
-
-    def on_task_end(self, event: TaskEnd) -> None:
-        with self._lock:
-            self._engine_tasks += 1
+        self._sessions.labels(action=event.action).inc()
 
     # export -------------------------------------------------------------
+    def _engine_doc(self) -> Dict[str, Any]:
+        """Engine totals from the registry-fed ``repro_engine_*`` families."""
+        jobs = tasks = 0
+        job_wall_s = 0.0
+        fam = self.hub.get("repro_engine_jobs_total")
+        if fam is not None:
+            jobs = int(sum(child.value for _, child in fam.series()))
+        fam = self.hub.get("repro_engine_tasks_total")
+        if fam is not None:
+            tasks = int(sum(child.value for _, child in fam.series()))
+        fam = self.hub.get("repro_engine_job_seconds")
+        if fam is not None:
+            job_wall_s = sum(child.sum for _, child in fam.series())
+        return {"jobs": jobs, "tasks": tasks, "job_wall_s": round(job_wall_s, 6)}
+
     def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            endpoints: Dict[str, Any] = {}
-            for name, stats in sorted(self._endpoints.items()):
-                endpoints[name] = {
-                    "requests": stats.requests,
-                    "by_status": dict(stats.by_status),
-                    "by_source": dict(stats.by_source),
-                    "latency": stats.latency.snapshot(),
-                }
-            waiters, jobs = self._batch_waiters, self._batch_jobs
-            return {
-                "endpoints": endpoints,
-                "batcher": {
-                    "jobs": jobs,
-                    "waiters": waiters,
-                    "batching_ratio": round(waiters / jobs, 3) if jobs else 0.0,
-                },
-                "sessions": dict(self._sessions),
-                "engine": {
-                    "jobs": self._engine_jobs,
-                    "tasks": self._engine_tasks,
-                    "job_wall_s": round(self._engine_job_wall_s, 6),
-                },
+        endpoints: Dict[str, Any] = {}
+        per_endpoint: Dict[str, Dict[str, Any]] = {}
+        for labels, child in self._requests.series():
+            stats = per_endpoint.setdefault(
+                labels["endpoint"], {"requests": 0, "by_status": {}, "by_source": {}}
+            )
+            n = int(child.value)
+            stats["requests"] += n
+            status, source = labels["status"], labels["source"]
+            stats["by_status"][status] = stats["by_status"].get(status, 0) + n
+            stats["by_source"][source] = stats["by_source"].get(source, 0) + n
+        for name in sorted(per_endpoint):
+            stats = per_endpoint[name]
+            endpoints[name] = {
+                "requests": stats["requests"],
+                "by_status": stats["by_status"],
+                "by_source": stats["by_source"],
+                "latency": _latency_doc(self._duration.labels(endpoint=name)),
             }
+        jobs = int(self._batch_jobs.value)
+        waiters = int(self._batch_waiters.value)
+        return {
+            "endpoints": endpoints,
+            "batcher": {
+                "jobs": jobs,
+                "waiters": waiters,
+                "batching_ratio": round(waiters / jobs, 3) if jobs else 0.0,
+            },
+            "sessions": {
+                labels["action"]: int(child.value)
+                for labels, child in self._sessions.series()
+            },
+            "engine": self._engine_doc(),
+        }
 
 
 def request_totals(listener: ServeMetricsListener) -> List[str]:

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.engine import Context
-from repro.engine.metrics import simulated_makespan
+from repro.engine.metrics import (
+    StageMetrics,
+    TaskMetrics,
+    simulated_makespan,
+    simulated_stage_time,
+)
 
 
 class TestCheckpoint:
@@ -72,6 +77,50 @@ class TestSimulatedMakespan:
     def test_empty_tasks(self):
         assert simulated_makespan([], 4) == 0.0
 
+    def test_empty_tasks_single_worker(self):
+        assert simulated_makespan([], 1) == 0.0
+
+    def test_zero_duration_tasks(self):
+        assert simulated_makespan([0.0, 0.0, 0.0], 2) == 0.0
+
+    def test_zero_duration_tasks_still_pay_overhead(self):
+        # Three zero-second tasks on two workers: LPT loads one slot
+        # with two dispatches.
+        assert simulated_makespan(
+            [0.0, 0.0, 0.0], 2, per_task_overhead_s=0.1
+        ) == pytest.approx(0.2)
+
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             simulated_makespan([1.0], 0)
+
+    def test_negative_workers(self):
+        with pytest.raises(ValueError):
+            simulated_makespan([1.0], -3)
+
+    def test_stage_time_wrapper(self):
+        sm = StageMetrics(0, "result", num_tasks=2)
+        sm.tasks = [TaskMetrics(0, 0, 1.0), TaskMetrics(0, 1, 3.0)]
+        assert simulated_stage_time(sm, 2) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            simulated_stage_time(sm, 0)
+
+
+class TestStageSkew:
+    def test_empty_stage_is_balanced(self):
+        assert StageMetrics(0, "result").skew == 1.0
+
+    def test_zero_duration_tasks_are_balanced(self):
+        sm = StageMetrics(0, "result", num_tasks=2)
+        sm.tasks = [TaskMetrics(0, 0, 0.0), TaskMetrics(0, 1, 0.0)]
+        assert sm.skew == 1.0
+
+    def test_single_task_is_balanced(self):
+        sm = StageMetrics(0, "result", num_tasks=1)
+        sm.tasks = [TaskMetrics(0, 0, 2.5)]
+        assert sm.skew == pytest.approx(1.0)
+
+    def test_straggler_raises_skew(self):
+        sm = StageMetrics(0, "result", num_tasks=4)
+        sm.tasks = [TaskMetrics(0, p, 1.0) for p in range(3)] + [TaskMetrics(0, 3, 5.0)]
+        assert sm.skew == pytest.approx(5.0 / 2.0)

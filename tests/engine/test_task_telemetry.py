@@ -1,0 +1,176 @@
+"""Per-task resource telemetry: CPU time, peak-RSS delta, GC counts.
+
+Every executor mode must produce the same summary vocabulary — serial,
+threads and processes all stamp ``cpu_s`` / ``rss_peak_kb`` /
+``gc_collections`` on task results, the scheduler rolls them into
+stage/job metrics, and ``TaskEnd`` events carry them on the bus.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import Context
+from repro.engine.listener import EngineListener, TaskEnd
+
+SUMMARY_KEYS = {
+    "wall_s",
+    "stages",
+    "tasks",
+    "task_time_s",
+    "overhead_s",
+    "cpu_s",
+    "rss_peak_kb",
+    "gc_collections",
+}
+
+
+def _burn(x):
+    t0 = time.perf_counter()
+    acc = 0
+    while time.perf_counter() - t0 < 0.02:
+        acc += 1
+    return x + (acc and 0)
+
+
+class _TaskEndCollector(EngineListener):
+    def __init__(self):
+        self.events = []
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        self.events.append(event)
+
+
+class TestSummaryKeysAcrossModes:
+    @pytest.mark.parametrize("mode", ["serial", "threads", "processes"])
+    def test_summary_vocabulary_is_identical(self, mode):
+        with Context(mode=mode, parallelism=2) as ctx:
+            assert ctx.parallelize(range(8), 4).map(_burn).count() == 8
+            summary = ctx.metrics.last().summary()
+        assert set(summary) == SUMMARY_KEYS
+        assert summary["tasks"] == 4.0
+        assert summary["cpu_s"] >= 0.0
+        assert summary["rss_peak_kb"] >= 0.0
+        assert summary["gc_collections"] >= 0.0
+
+    @pytest.mark.parametrize("mode", ["serial", "threads", "processes"])
+    def test_busy_tasks_accumulate_cpu(self, mode):
+        with Context(mode=mode, parallelism=2) as ctx:
+            ctx.parallelize(range(8), 4).map(_burn).count()
+            summary = ctx.metrics.last().summary()
+        # Four 20ms spin tasks: well over 10ms of CPU in any mode.
+        assert summary["cpu_s"] > 0.01
+
+
+class TestTaskEndCarriesTelemetry:
+    @pytest.mark.parametrize("mode", ["serial", "threads", "processes"])
+    def test_task_end_fields(self, mode):
+        collector = _TaskEndCollector()
+        with Context(mode=mode, parallelism=2) as ctx:
+            ctx.add_listener(collector)
+            ctx.parallelize(range(8), 4).map(_burn).count()
+        assert len(collector.events) == 4
+        for event in collector.events:
+            assert event.cpu_s >= 0.0
+            assert event.rss_peak_kb >= 0
+            assert event.gc_collections >= 0
+        assert sum(e.cpu_s for e in collector.events) > 0.01
+
+    def test_task_end_backward_compatible_positional(self):
+        # Telemetry fields appended after `worker`: old positional
+        # construction still works and defaults to zero.
+        event = TaskEnd(1, 2, 0.5, 1)
+        assert event.cpu_s == 0.0
+        assert event.rss_peak_kb == 0
+        assert event.gc_collections == 0
+
+
+class TestStageRollups:
+    def test_stage_aggregates(self):
+        with Context(mode="serial") as ctx:
+            ctx.parallelize(range(8), 4).map(_burn).count()
+            job = ctx.metrics.last()
+        stage = job.stages[-1]
+        assert stage.cpu_time_s == pytest.approx(sum(t.cpu_s for t in stage.tasks))
+        assert stage.rss_peak_kb == max(t.rss_peak_kb for t in stage.tasks)
+        assert stage.gc_collections == sum(t.gc_collections for t in stage.tasks)
+
+    def test_gc_collections_counted_when_forced(self):
+        import gc
+
+        def churn(x):
+            # Enough garbage to force at least one gen-0 collection.
+            for _ in range(50):
+                gc.collect(0)
+            return x
+
+        with Context(mode="serial") as ctx:
+            ctx.parallelize(range(2), 1).map(churn).count()
+            summary = ctx.metrics.last().summary()
+        assert summary["gc_collections"] >= 1
+
+
+class TestJobStamps:
+    def test_wall_clock_and_trace_stamps(self):
+        from repro.engine.tracing import trace_scope
+
+        before = time.time()
+        with Context(mode="serial") as ctx:
+            with trace_scope(name="stamped") as tc:
+                ctx.parallelize(range(4), 2).sum()
+            job = ctx.metrics.last()
+        assert job.trace_id == tc.trace_id
+        assert before - 1.0 <= job.t0_wall <= job.t1_wall <= time.time() + 1.0
+        assert job.succeeded
+
+    def test_dump_jsonl_carries_stamps(self, tmp_path):
+        import json
+
+        with Context(mode="serial") as ctx:
+            ctx.parallelize(range(4), 2).sum()
+            path = tmp_path / "jobs.jsonl"
+            assert ctx.metrics.dump_jsonl(path) == 1
+        record = json.loads(path.read_text().splitlines()[0])
+        assert {"t0_wall", "t1_wall", "trace_id"} <= set(record)
+        assert record["t1_wall"] >= record["t0_wall"] > 0
+
+    def test_failed_job_recorded_as_failed(self):
+        with Context(mode="serial") as ctx:
+            with pytest.raises(Exception):
+                ctx.parallelize(range(4), 2).map(lambda x: 1 // 0).count()
+            job = ctx.metrics.last()
+        assert not job.succeeded
+
+
+class TestHubPublication:
+    def test_registry_publishes_to_context_hub(self):
+        with Context(mode="serial") as ctx:
+            ctx.parallelize(range(8), 4).map(_burn).count()
+            hub = ctx.metrics_hub
+            assert hub.get("repro_engine_jobs_total").labels(status="ok").value == 1
+            assert hub.get("repro_engine_tasks_total").value == 4
+            assert hub.get("repro_engine_task_cpu_seconds_total").value > 0.0
+            assert hub.get("repro_engine_job_seconds").labels().count == 1
+
+    def test_failed_job_counted_by_status(self):
+        with Context(mode="serial") as ctx:
+            with pytest.raises(Exception):
+                ctx.parallelize(range(2), 1).map(lambda x: 1 // 0).count()
+            fam = ctx.metrics_hub.get("repro_engine_jobs_total")
+            assert fam.labels(status="failed").value == 1
+
+
+class TestWorkerProfileRelay:
+    def test_process_workers_relay_samples(self):
+        from repro.obs.sampler import Sampler
+
+        sampler = Sampler(hz=500).start().install()
+        try:
+            with Context(mode="processes", parallelism=2) as ctx:
+                ctx.parallelize(range(8), 4).map(_burn).count()
+        finally:
+            sampler.stop()
+            sampler.uninstall()
+        folded = sampler.folded()
+        assert sum(folded.values()) > 0
+        assert any("_burn" in stack for stack in folded)

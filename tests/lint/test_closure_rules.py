@@ -140,3 +140,56 @@ class TestResolutionDetails:
         )
         (finding,) = analyze_source(src)
         assert finding.rule == "C101"
+
+
+class TestC101ObservabilityCaptures:
+    """The PR 8 driver-resident machinery: hub, instruments, sampler."""
+
+    def test_hub_and_instrument_captures_flagged(self):
+        src = (
+            "from repro.obs.metrics import MetricsHub\n"
+            "hub = MetricsHub()\n"
+            "c = hub.counter('repro_x_total')\n"
+            "rdd.map(lambda x: c.inc() or x).collect()\n"
+            "rdd.map(lambda x: hub).collect()\n"
+        )
+        findings = analyze_source(src)
+        assert rules_of(findings) == ["C101", "C101"]
+        messages = "\n".join(f.message for f in findings)
+        assert "MetricInstrument" in messages
+        assert "MetricsHub" in messages
+
+    def test_context_hub_attribute_flagged(self):
+        src = "hub = ctx.metrics_hub\nrdd.map(lambda x: hub).collect()\n"
+        (finding,) = analyze_source(src)
+        assert finding.rule == "C101"
+        assert "MetricsHub" in finding.message
+
+    def test_sampler_capture_flagged(self):
+        src = (
+            "from repro.obs.sampler import Sampler\n"
+            "s = Sampler(hz=100)\n"
+            "rdd.map(lambda x: s).collect()\n"
+        )
+        (finding,) = analyze_source(src)
+        assert finding.rule == "C101"
+        assert "Sampler" in finding.message
+
+    def test_hub_histogram_receiver_gated(self):
+        # hub.histogram(...) yields a driver-only instrument...
+        src = (
+            "h = hub.histogram('repro_h_seconds')\n"
+            "rdd.map(lambda x: h.observe(x) or x).collect()\n"
+        )
+        (finding,) = analyze_source(src)
+        assert finding.rule == "C101"
+        assert "MetricInstrument" in finding.message
+
+    def test_rdd_histogram_action_not_tagged(self):
+        # ...but RDD.histogram() is an action returning plain data, and
+        # capturing its result must stay clean.
+        src = (
+            "counts = rdd.histogram(4)\n"
+            "rdd.map(lambda x: counts[0] + x).collect()\n"
+        )
+        assert analyze_source(src) == []

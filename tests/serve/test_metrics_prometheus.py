@@ -1,0 +1,166 @@
+"""One exposition path: JSON /metrics and Prometheus text share one hub.
+
+Also covers the ``/debug/profile/{start,stop}`` endpoints the sampling
+profiler adds to the server.
+"""
+
+import asyncio
+
+from repro.obs.metrics import validate_prometheus_text
+
+from tests.serve.serve_utils import http_call, run_with_server
+
+CALC_BODY = {"cohort": 5, "prevalences": [0.05], "replications": 2, "seed": 3}
+
+
+async def http_text(host, port, method, path):
+    """Like http_call but returns the body as raw text (non-JSON routes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Content-Length: 0\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, body_bytes.decode("utf-8"), headers
+
+
+class TestPrometheusExposition:
+    def test_prometheus_text_validates_and_matches_json(self):
+        async def scenario(server, host, port):
+            await http_call(host, port, "POST", "/calculator", CALC_BODY)
+            json_status, doc, _, _ = await http_call(host, port, "GET", "/metrics")
+            prom_status, text, headers = await http_text(
+                host, port, "GET", "/metrics?format=prometheus"
+            )
+            return json_status, doc, prom_status, text, headers
+
+        json_status, doc, prom_status, text, headers = run_with_server(scenario)
+        assert json_status == 200 and prom_status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        assert validate_prometheus_text(text) > 0
+
+        # Same hub feeds both renderings: the JSON request count equals the
+        # Prometheus counter series sum for the same endpoint.
+        calc_requests = doc["endpoints"]["/calculator"]["requests"]
+        prom_total = sum(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_http_requests_total{")
+            and 'endpoint="/calculator"' in line
+        )
+        assert prom_total == calc_requests
+
+    def test_prometheus_render_is_byte_stable(self):
+        # A fixed event history renders to identical bytes every time.
+        # (Two HTTP scrapes would differ: the first scrape's own
+        # RequestEnd lands in the second's history.)
+        async def scenario(server, host, port):
+            await http_call(host, port, "POST", "/calculator", CALC_BODY)
+            hub = server.ctx.metrics_hub
+            return hub.render_prometheus(), hub.render_prometheus()
+
+        first, second = run_with_server(scenario)
+        assert first == second
+
+    def test_unknown_format_is_rejected(self):
+        async def scenario(server, host, port):
+            return await http_call(host, port, "GET", "/metrics?format=msgpack")
+
+        status, body, _, _ = run_with_server(scenario)
+        assert status == 400
+        assert "format" in body["error"]
+
+    def test_engine_families_present_after_compute(self):
+        async def scenario(server, host, port):
+            await http_call(host, port, "POST", "/calculator", CALC_BODY)
+            _, text, _ = await http_text(host, port, "GET", "/metrics?format=prometheus")
+            return text
+
+        text = run_with_server(scenario)
+        assert "# TYPE repro_engine_jobs_total counter" in text
+        assert "# TYPE repro_http_request_duration_ms histogram" in text
+
+
+class TestDebugProfileEndpoints:
+    def test_start_stop_roundtrip(self):
+        async def scenario(server, host, port):
+            idle = await http_call(host, port, "GET", "/debug/profile")
+            started = await http_call(
+                host, port, "POST", "/debug/profile/start?hz=200"
+            )
+            await http_call(host, port, "POST", "/calculator", CALC_BODY)
+            running = await http_call(host, port, "GET", "/debug/profile")
+            stopped = await http_call(host, port, "POST", "/debug/profile/stop")
+            return idle, started, running, stopped
+
+        idle, started, running, stopped = run_with_server(scenario)
+        assert idle[0] == 200 and idle[1]["profiling"] is False
+        assert started[0] == 200 and started[1]["profiling"] is True
+        assert started[1]["hz"] == 200.0
+        assert running[1]["profiling"] is True
+        assert stopped[0] == 200 and stopped[1]["profiling"] is False
+        # Collapsed stacks ride the stop response.
+        assert isinstance(stopped[1]["folded"], dict)
+        assert sum(stopped[1]["folded"].values()) == stopped[1]["samples"]
+
+    def test_double_start_conflicts(self):
+        async def scenario(server, host, port):
+            first = await http_call(host, port, "POST", "/debug/profile/start")
+            second = await http_call(host, port, "POST", "/debug/profile/start")
+            await http_call(host, port, "POST", "/debug/profile/stop")
+            return first, second
+
+        first, second = run_with_server(scenario)
+        assert first[0] == 200
+        assert second[0] == 409
+
+    def test_stop_without_start_conflicts(self):
+        async def scenario(server, host, port):
+            return await http_call(host, port, "POST", "/debug/profile/stop")
+
+        status, body, _, _ = run_with_server(scenario)
+        assert status == 409
+
+    def test_bad_hz_rejected(self):
+        async def scenario(server, host, port):
+            return (
+                await http_call(host, port, "POST", "/debug/profile/start?hz=0"),
+                await http_call(host, port, "POST", "/debug/profile/start?hz=nope"),
+            )
+
+        (s_zero, _, _, _), (s_nan, _, _, _) = run_with_server(scenario)
+        assert s_zero == 400
+        assert s_nan == 400
+
+    def test_flamegraph_endpoint(self):
+        async def scenario(server, host, port):
+            await http_call(host, port, "POST", "/debug/profile/start?hz=200")
+            await http_call(host, port, "POST", "/calculator", CALC_BODY)
+            page = await http_text(host, port, "GET", "/debug/profile/flamegraph")
+            await http_call(host, port, "POST", "/debug/profile/stop")
+            missing = await http_call(host, port, "GET", "/debug/profile/flamegraph")
+            return page, missing
+
+        (status, html, headers), missing = run_with_server(scenario)
+        assert status == 200
+        assert headers["content-type"].startswith("text/html")
+        assert html.startswith("<!DOCTYPE html>")
+        assert missing[0] == 409

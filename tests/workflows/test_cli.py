@@ -127,3 +127,40 @@ class TestCommands:
         main(argv)
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestObservabilityCommands:
+    def test_metrics_json_snapshot(self, capsys):
+        import json
+
+        rc = main(["metrics", "--cohort", "8", "--seed", "1", "--workers", "2"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "repro_engine_jobs_total" in snap
+        assert "repro_engine_task_cpu_seconds_total" in snap
+
+    def test_metrics_prometheus_validates(self, capsys):
+        from repro.obs.metrics import validate_prometheus_text
+
+        rc = main(["metrics", "--prom", "--cohort", "8", "--seed", "1",
+                   "--workers", "2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert validate_prometheus_text(text) > 0
+        assert "# TYPE repro_engine_jobs_total counter" in text
+
+    def test_screen_profile_writes_collapsed_and_flamegraph(
+        self, capsys, tmp_path
+    ):
+        prefix = tmp_path / "prof"
+        rc = main(["screen", "--cohort", "8", "--seed", "1", "--workers", "2",
+                   "--profile", str(prefix), "--profile-hz", "400"])
+        assert rc == 0
+        collapsed = (tmp_path / "prof.collapsed").read_text()
+        assert collapsed.strip(), "collapsed file must not be empty"
+        for line in collapsed.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+        html = (tmp_path / "prof.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "repro screen" in html
