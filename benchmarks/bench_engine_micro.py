@@ -344,6 +344,102 @@ def test_engine_hub_and_sampler_overhead_small():
     assert end_to_end < 0.03 or budget < 0.03
 
 
+def test_engine_lock_sanitizer_overhead_small():
+    """The lock-order sanitizer in ``record`` mode costs <5% on the micro-job.
+
+    This is the CI acceptance bound for running the sanitizer in test
+    and canary environments.  Same dual measurement as the other
+    observability gates — either may satisfy the bound:
+
+    * end-to-end — sanitizer-record vs sanitizer-off job walls
+      (interleaved best-of-rounds medians).
+    * budget — (lock acquisitions/job) x (measured per-acquire cost
+      delta between record and off mode) / (sanitizer-off job wall).
+      Deterministic, and it is the quantity the sanitizer controls:
+      its entire footprint is the per-acquire level check.
+    """
+    import statistics
+    import time
+    import timeit
+
+    from repro.engine import lockorder
+    from repro.engine.lockorder import OrderedLock
+
+    def round_median(c: Context, reps: int = 7) -> float:
+        walls = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _shuffle_job(c)
+            walls.append(time.perf_counter() - t0)
+        return statistics.median(walls)
+
+    previous = lockorder.set_sanitizer_mode("off")
+    try:
+        with Context(config=_config(enable_events=False)) as c:
+            _shuffle_job(c)  # warm up
+            off_medians, on_medians = [], []
+            for _ in range(7):
+                lockorder.set_sanitizer_mode("off")
+                off_medians.append(round_median(c))
+                lockorder.set_sanitizer_mode("record")
+                try:
+                    on_medians.append(round_median(c))
+                finally:
+                    lockorder.set_sanitizer_mode("off")
+                    lockorder.clear_violations()
+        off, on = min(off_medians), min(on_medians)
+        end_to_end = (on - off) / off
+
+        # Count lock acquisitions in one job by wrapping the class method.
+        acquires = 0
+        orig_acquire = OrderedLock.acquire
+
+        def counting_acquire(self, *args, **kwargs):
+            nonlocal acquires
+            acquires += 1
+            return orig_acquire(self, *args, **kwargs)
+
+        OrderedLock.acquire = counting_acquire
+        try:
+            with Context(config=_config(enable_events=False)) as c:
+                _shuffle_job(c)
+        finally:
+            OrderedLock.acquire = orig_acquire
+
+        # Price one acquire/release pair in each mode on an uncontended lock.
+        probe = OrderedLock("ResultCache._lock")
+        reps = 20_000
+
+        def pair():
+            probe.acquire()
+            probe.release()
+
+        def timed_pair() -> float:
+            return min(timeit.repeat(pair, number=reps, repeat=5)) / reps
+
+        lockorder.set_sanitizer_mode("off")
+        per_off = timed_pair()
+        lockorder.set_sanitizer_mode("record")
+        try:
+            per_record = timed_pair()
+        finally:
+            lockorder.set_sanitizer_mode("off")
+            lockorder.clear_violations()
+        budget = acquires * max(per_record - per_off, 0.0) / off
+    finally:
+        lockorder.set_sanitizer_mode(previous)
+        lockorder.clear_violations()
+
+    print(
+        f"\nlock-sanitizer overhead: end-to-end {end_to_end:+.2%}, "
+        f"budget {budget:.2%} ({acquires} acquires x "
+        f"{(per_record - per_off) * 1e9:+.0f}ns "
+        f"(off {per_off * 1e9:.0f}ns, record {per_record * 1e9:.0f}ns) "
+        f"on a {off * 1000:.2f}ms job)"
+    )
+    assert end_to_end < 0.05 or budget < 0.05
+
+
 # ---------------------------------------------------------------------------
 # Process-mode data plane guards.  These pin the two structural wins of
 # the data-plane work: the worker-resident block cache (repeated actions

@@ -12,12 +12,14 @@ import itertools
 import threading
 from typing import Callable, Dict, Generic, Optional, TypeVar
 
+from repro.engine.lockorder import OrderedLock
+
 __all__ = ["Accumulator", "AccumulatorRegistry"]
 
 T = TypeVar("T")
 
 _ids = itertools.count()
-_ids_lock = threading.Lock()
+_ids_lock = OrderedLock("_ids_lock")
 
 # Task-local staging area: {acc_id: (zero, op, local_value)} for the task
 # currently running on this thread.
@@ -46,7 +48,7 @@ class Accumulator(Generic[T]):
         self.op = op or (lambda a, b: a + b)
         self.name = name or f"acc-{self.id}"
         self._value = zero
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("Accumulator._lock")
 
     @property
     def value(self) -> T:
@@ -101,7 +103,7 @@ class Accumulator(Generic[T]):
         else:  # pragma: no cover - unpicklable op
             self.op = lambda a, b: a + b
         self._value = self.zero
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("Accumulator._lock")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Accumulator({self.name}, value={self._value!r})"
@@ -112,7 +114,7 @@ class AccumulatorRegistry:
 
     def __init__(self) -> None:
         self._accs: Dict[int, Accumulator] = {}
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("AccumulatorRegistry._lock")
 
     def register(self, acc: Accumulator) -> None:
         with self._lock:

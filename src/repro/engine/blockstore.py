@@ -18,13 +18,13 @@ eviction) and the access is a miss.
 from __future__ import annotations
 
 import sys
-import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.listener import CacheEvict, CacheHit, CacheMiss, EventBus
+from repro.engine.lockorder import OrderedLock
 
 __all__ = ["BlockStore"]
 
@@ -56,7 +56,7 @@ class BlockStore:
         self._sizes: Dict[BlockKey, int] = {}
         self._gens: Dict[BlockKey, int] = {}
         self._used = 0
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("BlockStore._lock")
         self._bus = bus
         self.hits = 0
         self.misses = 0

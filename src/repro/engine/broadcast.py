@@ -11,15 +11,16 @@ repeated tasks on the same worker deserialize it only once.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Any, Dict, Generic, Optional, TypeVar
+
+from repro.engine.lockorder import OrderedLock
 
 __all__ = ["Broadcast"]
 
 T = TypeVar("T")
 
 _ids = itertools.count()
-_ids_lock = threading.Lock()
+_ids_lock = OrderedLock("_ids_lock")
 
 # Worker-process-side cache: bc_id -> value.  Populated by the executor
 # when it unpacks a task payload.  In thread mode it is simply unused.

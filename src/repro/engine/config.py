@@ -60,6 +60,14 @@ class EngineConfig:
     slow_threshold_s:
         Operations (tasks, stages, jobs, requests) slower than this are
         copied into the recorder's slow-op log.
+    lock_sanitizer:
+        Runtime lock-order sanitizer mode applied when the context is
+        created: ``"off"``, ``"record"`` (log violations, post bus
+        events, count them in the hub) or ``"raise"`` (fail loudly at
+        the inverted acquisition).  The default ``""`` leaves the
+        process-wide mode alone (i.e. whatever ``REPRO_LOCK_SANITIZER``
+        or an earlier :func:`repro.engine.lockorder.set_sanitizer_mode`
+        call selected).
     """
 
     mode: ExecMode = "threads"
@@ -73,6 +81,7 @@ class EngineConfig:
     flight_recorder: bool = True
     flight_capacity: int = 4096
     slow_threshold_s: float = 0.1
+    lock_sanitizer: str = ""
 
     def __post_init__(self) -> None:
         if self.mode not in _VALID_MODES:
@@ -91,6 +100,11 @@ class EngineConfig:
             raise ValueError("flight_capacity must be positive")
         if self.slow_threshold_s < 0:
             raise ValueError("slow_threshold_s must be >= 0")
+        if self.lock_sanitizer not in ("", "off", "record", "raise"):
+            raise ValueError(
+                "lock_sanitizer must be '', 'off', 'record' or 'raise', "
+                f"got {self.lock_sanitizer!r}"
+            )
 
     @property
     def effective_parallelism(self) -> int:

@@ -13,16 +13,16 @@ action funnels through :meth:`run_job`.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.engine import lockorder
 from repro.engine.accumulator import Accumulator, AccumulatorRegistry
 from repro.engine.blockstore import BlockStore
 from repro.engine.broadcast import Broadcast
 from repro.engine.config import EngineConfig
 from repro.engine.errors import ContextStoppedError
 from repro.engine.executor import BaseExecutor, make_executor
-from repro.engine.listener import EngineListener, EventBus
+from repro.engine.listener import EngineListener, EventBus, LockOrderViolation
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.rdd import RDD, ParallelCollectionRDD, RangeRDD, UnionRDD
 from repro.engine.scheduler import Scheduler
@@ -58,6 +58,8 @@ class Context:
             shuffle_partitions=shuffle_partitions,
             max_task_retries=max_task_retries,
         )
+        if self.config.lock_sanitizer:
+            lockorder.set_sanitizer_mode(self.config.lock_sanitizer)
         self.event_bus = EventBus(enabled=self.config.enable_events)
         # The always-on black box: a bounded recorder every context gets
         # by default so failures and /debug endpoints have history to
@@ -88,9 +90,16 @@ class Context:
         # unpersist, stamped into process-mode task payloads so worker-
         # resident stores drop stale entries without a driver channel.
         self._cache_generations: dict = {}
-        self._lock = threading.Lock()
+        self._lock = lockorder.OrderedLock("Context._lock")
         self._executor: Optional[BaseExecutor] = None
         self._stopped = False
+        # Surface sanitizer violations (record mode) on this context's
+        # bus and hub so they are observable like any other engine fact.
+        self._lock_violations_counter = self.metrics_hub.counter(
+            "repro_lock_order_violations_total",
+            "Out-of-order lock acquisitions observed by the runtime sanitizer",
+        )
+        self._lockorder_hook = lockorder.add_violation_hook(self._on_lock_violation)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,11 +129,30 @@ class Context:
             if self._stopped:
                 return
             self._stopped = True
-            if self._executor is not None:
-                self._executor.stop()
-                self._executor = None
+            executor, self._executor = self._executor, None
+        # Joining pool workers can take arbitrarily long; do it after
+        # releasing the context lock (E205: a blocked `executor`
+        # property access must not pile up behind the shutdown).
+        if executor is not None:
+            executor.stop()
+        lockorder.remove_violation_hook(self._on_lock_violation)
         self.shuffle_manager.clear()
         self.block_store.clear()
+
+    def _on_lock_violation(self, record: "lockorder.ViolationRecord") -> None:
+        """Sanitizer hook (record mode): post a bus event, bump the counter."""
+        bus = self.event_bus
+        if bus:
+            bus.post(
+                LockOrderViolation(
+                    acquired=record.acquired,
+                    acquired_level=record.acquired_level,
+                    held=record.held,
+                    held_level=record.held_level,
+                    thread=record.thread,
+                )
+            )
+        self._lock_violations_counter.inc()
 
     def __enter__(self) -> "Context":
         return self
@@ -240,7 +268,7 @@ class Context:
         self._scheduler = None
         self._rdd_ids = itertools.count()
         self._cache_generations = {}
-        self._lock = threading.Lock()
+        self._lock = lockorder.OrderedLock("Context._lock")
         self._executor = None
         self._stopped = True  # any action attempt on a worker fails fast
 

@@ -16,8 +16,9 @@ shuffles (the engine's analogue of Spark's skipped stages).
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.engine.lockorder import OrderedLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.rdd import RDD
@@ -33,7 +34,7 @@ __all__ = [
 ]
 
 _stage_ids = itertools.count()
-_stage_lock = threading.Lock()
+_stage_lock = OrderedLock("_stage_lock")
 
 
 class Aggregator:

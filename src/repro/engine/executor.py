@@ -58,6 +58,7 @@ from repro.engine.listener import (
     TaskRetry,
     TaskStart,
 )
+from repro.engine.lockorder import OrderedLock
 from repro.engine.shuffle import (
     LocalShuffleFetcher,
     PayloadShuffleFetcher,
@@ -415,7 +416,7 @@ class ProcessExecutor(BaseExecutor):
         super().__init__(manager, blockstore, max_retries, bus, generations)
         ctx = multiprocessing.get_context("fork")
         self._pool = cf.ProcessPoolExecutor(max_workers=num_workers, mp_context=ctx)
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("ProcessExecutor._lock")
         # Fork the whole worker pool NOW rather than at the first job.
         # With the fork start method CPython launches every worker on
         # the first submit and never forks again, so forcing that

@@ -28,11 +28,11 @@ where the raw ``perf_counter`` stamp cannot.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Type
 
+from repro.engine.lockorder import OrderedLock
 from repro.engine.tracing import (
     EPOCH_OFFSET,
     TraceContext,
@@ -54,6 +54,7 @@ __all__ = [
     "CacheHit",
     "CacheMiss",
     "CacheEvict",
+    "LockOrderViolation",
     "EngineListener",
     "EventBus",
     "RecordingListener",
@@ -255,6 +256,21 @@ class CacheEvict(EngineEvent):
     size_bytes: int = 0
 
 
+@dataclass
+class LockOrderViolation(EngineEvent):
+    """The runtime lock sanitizer observed an out-of-order acquisition.
+
+    Posted (in ``record`` mode) by the context's violation hook; the
+    fields mirror :class:`repro.engine.lockorder.ViolationRecord`.
+    """
+
+    acquired: str
+    acquired_level: int
+    held: str
+    held_level: int
+    thread: str = ""
+
+
 _KIND_BY_TYPE: Dict[Type[EngineEvent], str] = {
     JobStart: "job_start",
     JobEnd: "job_end",
@@ -268,6 +284,7 @@ _KIND_BY_TYPE: Dict[Type[EngineEvent], str] = {
     CacheHit: "cache_hit",
     CacheMiss: "cache_miss",
     CacheEvict: "cache_evict",
+    LockOrderViolation: "lock_order_violation",
 }
 
 _HANDLER_BY_TYPE: Dict[Type[EngineEvent], str] = {
@@ -358,6 +375,9 @@ class EngineListener:
     def on_cache_evict(self, event: CacheEvict) -> None:
         """Hook: block store eviction."""
 
+    def on_lock_order_violation(self, event: LockOrderViolation) -> None:
+        """Hook: the lock sanitizer recorded an out-of-order acquisition."""
+
 
 class EventBus:
     """Fan-out of engine events to registered listeners.
@@ -374,7 +394,7 @@ class EventBus:
         self._listeners: List[EngineListener] = []
         # Reentrant: a listener may itself trigger an emitting code path
         # (e.g. a tracer reading a cached RDD) without deadlocking.
-        self._lock = threading.RLock()
+        self._lock = OrderedLock("EventBus._lock", reentrant=True)
         self.enabled = bool(enabled)
         #: Count of listener exceptions swallowed during delivery.
         self.dropped_errors = 0
@@ -424,7 +444,7 @@ class RecordingListener(EngineListener):
 
     def __init__(self) -> None:
         self._events: List[EngineEvent] = []
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("RecordingListener._lock")
 
     def on_event(self, event: EngineEvent) -> None:
         """Record the event (thread-safe)."""

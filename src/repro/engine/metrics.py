@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
+
+from repro.engine.lockorder import OrderedLock
 
 __all__ = [
     "TaskMetrics",
@@ -152,7 +153,7 @@ class MetricsRegistry:
     def __init__(self, keep_last: int = 256, hub=None) -> None:
         self._jobs: List[JobMetrics] = []
         self._keep = keep_last
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("MetricsRegistry._lock")
         self._hub = None
         if hub is not None:
             self.bind_hub(hub)

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import threading
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.errors import ShuffleFetchError
 from repro.engine.listener import EventBus, ShuffleFetch, ShuffleWrite
+from repro.engine.lockorder import OrderedLock
 
 __all__ = [
     "Partitioner",
@@ -163,7 +163,7 @@ class ShuffleManager:
     def __init__(self, bus: Optional[EventBus] = None) -> None:
         self._blocks: Dict[int, Dict[int, List[Bucket]]] = {}
         self._complete: Dict[int, int] = {}  # shuffle_id -> expected map tasks
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("ShuffleManager._lock")
         self._ids = itertools.count()
         self._bus = bus
 

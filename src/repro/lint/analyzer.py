@@ -2,20 +2,39 @@
 
 ``lint_paths`` is the single entry the CLI and CI use; ``analyze_source``
 is the test-friendly core (string in, findings out).  Concurrency rules
-(E2xx) only apply to ``repro/engine`` and ``repro/serve`` modules —
-user code is free to lock however it likes — unless ``force_engine``
-says otherwise (fixtures use it).
+(E2xx) only apply to ``repro/engine``, ``repro/serve`` and ``repro/obs``
+modules — user code is free to lock however it likes — unless
+``force_engine`` says otherwise (fixtures use it).  Determinism rules
+(D3xx) likewise gate on the statistical-core packages
+(:func:`repro.lint.determinism_rules.is_determinism_module`) or
+``force_determinism``.
+
+``lint_paths`` makes a whole-program prepass first: every engine module
+in the file set is parsed into one :class:`~repro.lint.callgraph.CallGraph`
+so the interprocedural E204/E205 see across file boundaries.  Per-file
+analysis then runs serially or on a process pool (``jobs``), with an
+optional mtime/size cache (``cache_path``) keyed on the analysis
+configuration *and* the call-graph fingerprint — edit one engine file
+and every engine file re-analyzes, as it must.
+
+A file that cannot be read or parsed no longer aborts the run: it
+becomes an ``X001`` finding and analysis continues (the CLI maps X001
+to exit code 2).
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
+import hashlib
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint.callgraph import CallGraph, build_callgraph, build_callgraph_from_tree
 from repro.lint.closure_rules import analyze_closures
 from repro.lint.concurrency_rules import analyze_concurrency, is_engine_module
+from repro.lint.determinism_rules import analyze_determinism, is_determinism_module
 from repro.lint.model import LintFinding, Suppressions
 from repro.lint.rules import RULES
 
@@ -33,9 +52,16 @@ __all__ = [
 #: Bumped only on breaking changes to the JSON output shape.
 JSON_SCHEMA_VERSION = 1
 
+#: Bumped when cached findings become incomparable across versions.
+_CACHE_VERSION = 1
+
 
 class LintError(Exception):
     """Usage/IO error: unknown rule id, unreadable path (CLI exit code 2)."""
+
+    def __init__(self, message: str, line: int = 1) -> None:
+        super().__init__(message)
+        self.line = line
 
 
 def _validate_rule_ids(ids: Optional[Iterable[str]], flag: str) -> Optional[frozenset]:
@@ -58,18 +84,32 @@ def analyze_source(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     force_engine: bool = False,
+    force_determinism: bool = False,
+    callgraph: Optional[CallGraph] = None,
 ) -> List[LintFinding]:
-    """Lint one module's source text; returns surviving findings sorted."""
+    """Lint one module's source text; returns surviving findings sorted.
+
+    Without an explicit *callgraph*, engine modules get a single-module
+    graph — E204/E205 still work within the file; ``lint_paths`` passes
+    the whole-program one.
+    """
     selected = _validate_rule_ids(select, "--select")
     ignored = _validate_rule_ids(ignore, "--ignore")
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
-        raise LintError(f"{filename}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
+        raise LintError(
+            f"{filename}: cannot parse: {exc.msg} (line {exc.lineno})",
+            line=exc.lineno or 1,
+        ) from exc
 
     findings = analyze_closures(tree, filename)
     if force_engine or is_engine_module(filename):
-        findings.extend(analyze_concurrency(tree, filename))
+        if callgraph is None:
+            callgraph = build_callgraph_from_tree(tree, filename)
+        findings.extend(analyze_concurrency(tree, filename, callgraph))
+    if force_determinism or is_determinism_module(filename):
+        findings.extend(analyze_determinism(tree, filename))
 
     suppressions = Suppressions(source)
     kept = []
@@ -91,6 +131,7 @@ def analyze_file(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     force_engine: bool = False,
+    callgraph: Optional[CallGraph] = None,
 ) -> List[LintFinding]:
     try:
         source = path.read_text(encoding="utf-8")
@@ -102,6 +143,7 @@ def analyze_file(
         select=select,
         ignore=ignore,
         force_engine=force_engine,
+        callgraph=callgraph,
     )
 
 
@@ -124,22 +166,189 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
+# ----------------------------------------------------------------------
+# per-file analysis (worker-safe) + cache
+# ----------------------------------------------------------------------
+def _skip_finding(path_str: str, message: str, line: int) -> LintFinding:
+    prefix = f"{path_str}: "
+    if message.startswith(prefix):
+        message = message[len(prefix):]
+    return LintFinding(
+        rule="X001",
+        file=path_str,
+        line=line,
+        col=0,
+        message=message,
+        hint=RULES["X001"].hint,
+    )
+
+
+def _analyze_one(args) -> Tuple[str, List[LintFinding]]:
+    """Worker entry: analyze one file's text, mapping errors to X001."""
+    path_str, source, select, ignore, force_engine, callgraph = args
+    try:
+        return path_str, analyze_source(
+            source,
+            filename=path_str,
+            select=select,
+            ignore=ignore,
+            force_engine=force_engine,
+            callgraph=callgraph,
+        )
+    except LintError as exc:
+        return path_str, [_skip_finding(path_str, str(exc), exc.line)]
+    except Exception as exc:  # noqa: BLE001 - one bad file must not kill the run
+        return path_str, [_skip_finding(
+            path_str, f"internal analyzer error: {type(exc).__name__}: {exc}", 1
+        )]
+
+
+def _finding_to_cache(f: LintFinding) -> dict:
+    d = f.to_dict()
+    d["anchor_lines"] = list(f.anchor_lines)
+    return d
+
+
+def _finding_from_cache(d: dict) -> LintFinding:
+    return LintFinding(
+        rule=d["rule"],
+        file=d["file"],
+        line=d["line"],
+        col=d["col"],
+        message=d["message"],
+        chain=tuple(d.get("chain", ())),
+        hint=d.get("hint", ""),
+        anchor_lines=tuple(d.get("anchor_lines", ())),
+    )
+
+
+def _config_digest(select, ignore, force_engine: bool, callgraph_fp: str) -> str:
+    blob = json.dumps(
+        {
+            "cache_version": _CACHE_VERSION,
+            "select": sorted(select) if select else None,
+            "ignore": sorted(ignore) if ignore else None,
+            "force_engine": force_engine,
+            "callgraph": callgraph_fp,
+            "rules": sorted(RULES),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _load_cache(cache_path: Path, digest: str) -> Dict[str, dict]:
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if payload.get("digest") != digest:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _save_cache(cache_path: Path, digest: str, entries: Dict[str, dict]) -> None:
+    payload = {"version": _CACHE_VERSION, "digest": digest, "entries": entries}
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps(payload), encoding="utf-8")
+    except OSError:
+        pass  # a cache that cannot be written is just a cold cache
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     force_engine: bool = False,
+    jobs: int = 1,
+    cache_path: Optional[str] = None,
 ) -> Tuple[List[LintFinding], int]:
-    """Lint every .py under ``paths``; returns (findings, files_checked)."""
+    """Lint every .py under ``paths``; returns (findings, files_checked).
+
+    Unknown rule ids and missing paths still raise :class:`LintError`
+    (usage errors); unreadable/unparsable *files* become X001 findings.
+    """
+    selected = _validate_rule_ids(select, "--select")
+    ignored = _validate_rule_ids(ignore, "--ignore")
     files = iter_python_files(paths)
+
+    # Read everything up front; collect engine sources for the callgraph.
+    sources: Dict[str, str] = {}
+    read_errors: Dict[str, str] = {}
+    engine_trees: Dict[str, ast.Module] = {}
+    for path in files:
+        path_str = str(path)
+        try:
+            sources[path_str] = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            read_errors[path_str] = f"cannot read: {exc}"
+            continue
+        if force_engine or is_engine_module(path_str):
+            try:
+                engine_trees[path_str] = ast.parse(sources[path_str], filename=path_str)
+            except SyntaxError:
+                pass  # becomes X001 in the per-file pass
+    callgraph = build_callgraph(engine_trees) if engine_trees else None
+
+    digest = _config_digest(selected, ignored, force_engine,
+                            callgraph.fingerprint() if callgraph else "")
+    cache_file = Path(cache_path) if cache_path else None
+    cache = _load_cache(cache_file, digest) if cache_file else {}
+
+    results: Dict[str, List[LintFinding]] = {}
+    pending: List[Tuple] = []
+    new_entries: Dict[str, dict] = {}
+    for path in files:
+        path_str = str(path)
+        if path_str in read_errors:
+            results[path_str] = [_skip_finding(path_str, read_errors[path_str], 1)]
+            continue
+        stat = None
+        if cache_file is not None:
+            try:
+                stat = path.stat()
+            except OSError:
+                stat = None
+        entry = cache.get(path_str)
+        if (stat is not None and entry is not None
+                and entry.get("mtime") == stat.st_mtime
+                and entry.get("size") == stat.st_size):
+            results[path_str] = [_finding_from_cache(d) for d in entry["findings"]]
+            new_entries[path_str] = entry
+            continue
+        pending.append((path_str, sources[path_str], selected, ignored,
+                        force_engine, callgraph, stat))
+
+    def record(path_str: str, findings: List[LintFinding], stat) -> None:
+        results[path_str] = findings
+        if cache_file is not None and stat is not None:
+            new_entries[path_str] = {
+                "mtime": stat.st_mtime,
+                "size": stat.st_size,
+                "findings": [_finding_to_cache(f) for f in findings],
+            }
+
+    if jobs > 1 and len(pending) > 1:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            for (args, (path_str, findings)) in zip(
+                pending, pool.map(_analyze_one, (a[:6] for a in pending))
+            ):
+                record(path_str, findings, args[6])
+    else:
+        for args in pending:
+            path_str, findings = _analyze_one(args[:6])
+            record(path_str, findings, args[6])
+
+    if cache_file is not None:
+        _save_cache(cache_file, digest, new_entries)
+
     findings: List[LintFinding] = []
     for path in files:
-        findings.extend(
-            analyze_file(
-                path, select=select, ignore=ignore, force_engine=force_engine
-            )
-        )
+        findings.extend(results[str(path)])
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
     return findings, len(files)
 
 

@@ -1,0 +1,100 @@
+"""Finding baselines: adopt the linter on a dirty tree without drowning CI.
+
+``repro lint --write-baseline FILE`` records every current finding;
+``repro lint --baseline FILE`` then fails only on findings *not* in the
+baseline, so new rules can land (and old debt can burn down) without a
+flag-day cleanup.
+
+Findings are matched by a **fingerprint**, not by position: the SHA-256
+of ``rule|normalized path|normalized message``, where every digit run in
+the message is collapsed to ``#``.  Line and column are deliberately
+excluded and line numbers inside messages ("acquired line 42") are
+normalized away, so editing unrelated code above a known finding does
+not resurrect it.  The baseline stores a *count* per fingerprint:
+if a file gains a second instance of an already-baselined finding, the
+extra one is new and is reported.
+
+The file format is plain sorted JSON so diffs review cleanly:
+
+.. code-block:: json
+
+    {"version": 1, "fingerprints": {"<sha256>": 2, ...}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import posixpath
+import re
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.lint.model import LintFinding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "filter_new_findings",
+]
+
+BASELINE_VERSION = 1
+
+_DIGITS = re.compile(r"\d+")
+
+
+def fingerprint(finding: LintFinding) -> str:
+    """Position-independent identity of a finding."""
+    path = posixpath.normpath(finding.file.replace("\\", "/"))
+    message = _DIGITS.sub("#", finding.message)
+    blob = f"{finding.rule}|{path}|{message}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def write_baseline(path: str, findings: Sequence[LintFinding]) -> int:
+    """Write the baseline file; returns the number of findings recorded."""
+    counts = Counter(fingerprint(f) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sum(counts.values())
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load fingerprint counts; raises OSError/ValueError on a bad file."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} unsupported "
+            f"(expected {BASELINE_VERSION})"
+        )
+    fps = payload["fingerprints"]
+    if not isinstance(fps, dict):
+        raise ValueError(f"{path}: malformed fingerprints table")
+    return {str(k): int(v) for k, v in fps.items()}
+
+
+def filter_new_findings(
+    findings: Sequence[LintFinding], baseline: Dict[str, int]
+) -> List[LintFinding]:
+    """Findings not covered by the baseline (extras beyond a count are new)."""
+    budget = dict(baseline)
+    new: List[LintFinding] = []
+    for f in findings:
+        fp = fingerprint(f)
+        remaining = budget.get(fp, 0)
+        if remaining > 0:
+            budget[fp] = remaining - 1
+        else:
+            new.append(f)
+    return new

@@ -398,7 +398,17 @@ class _ClosureAnalyzer(ast.NodeVisitor):
             free = free_names(fn_node)
             if first_analysis:
                 default_names = self._default_name_ids(fn_node)
-                self._check_captures(fn_node, free, skip=default_names)
+                # Let a lint-ignore on the def line (or any decorator line,
+                # so decorated task functions stay suppressible) cover
+                # capture findings anchored deep in the body.
+                fn_anchor = [ln for ln in (getattr(fn_node, "lineno", 0),) if ln]
+                fn_anchor.extend(
+                    d.lineno for d in getattr(fn_node, "decorator_list", ())
+                )
+                self._check_captures(
+                    fn_node, free, skip=default_names,
+                    anchor_lines=tuple(fn_anchor),
+                )
                 scanner = _TaskBodyScanner(
                     self,
                     set(free),
@@ -422,7 +432,11 @@ class _ClosureAnalyzer(ast.NodeVisitor):
         return {d.id for d in defaults if isinstance(d, ast.Name)}
 
     def _check_captures(
-        self, fn_node: ast.AST, free: Dict[str, int], skip: Optional[Set[str]] = None
+        self,
+        fn_node: ast.AST,
+        free: Dict[str, int],
+        skip: Optional[Set[str]] = None,
+        anchor_lines: Tuple[int, ...] = (),
     ) -> None:
         for name, use_line in sorted(free.items(), key=lambda kv: kv[1]):
             if skip and name in skip:
@@ -440,6 +454,7 @@ class _ClosureAnalyzer(ast.NodeVisitor):
                     f"captures {name!r}, a driver-only {tag} — workers get a "
                     "stopped/inert stub, so any use fails mid-job",
                     chain=chain,
+                    anchor_lines=anchor_lines,
                 )
             elif tag in UNPICKLABLE_TAGS:
                 self.emit(
@@ -447,6 +462,7 @@ class _ClosureAnalyzer(ast.NodeVisitor):
                     f"captures {name!r} ({tag}) — unpicklable, the job dies in "
                     "closure.serialize under the processes executor",
                     chain=chain,
+                    anchor_lines=anchor_lines,
                 )
 
     def _check_defaults(self, fn_node: ast.AST) -> None:

@@ -1,16 +1,27 @@
-"""Engine-concurrency rules (E2xx) for ``repro.engine`` / ``repro.serve``.
+"""Engine-concurrency rules (E2xx) for ``repro.engine``/``serve``/``obs``.
 
-The engine's locks form a declared hierarchy (outer acquired first);
-the table below *is* the normative order — docs/architecture.md renders
-it for humans.  Identity is resolved syntactically: ``with self._lock:``
-inside ``class BlockStore`` is the BlockStore lock, a module-level
+The engine's locks form a declared hierarchy (outer acquired first); the
+normative table lives in :mod:`repro.engine.lockorder` — one registry
+shared by this analyzer and the runtime sanitizer
+(:class:`repro.engine.lockorder.OrderedLock`), so the linter and live
+threads can never disagree about the order.  ``LOCK_LEVELS`` and
+``MODULE_LOCK_LEVELS`` are re-exported here for compatibility.
+
+Identity is resolved syntactically: ``with self._lock:`` inside
+``class BlockStore`` is the BlockStore lock, a module-level
 ``with _stage_lock:`` is keyed by module, and local aliases
 (``lock = self._engine_lock``) are followed within a function.
 
-Checks are per-function: nesting across call boundaries is out of scope
-(and out of budget for an AST pass); the rules target the patterns that
-have actually bitten Spark-like engines — publish/block while holding a
-store lock, inverted nesting, and events rewritten after delivery.
+E201/E202 are per-function.  When a :class:`~repro.lint.callgraph.CallGraph`
+is supplied, E204/E205 extend the same checks across call boundaries
+using fixed-point per-function summaries: E204 flags a call that may
+*transitively* acquire a lock out of order, E205 a call that may block
+while a data-plane lock is held (admission-gate locks — see
+``lockorder.ADMISSION_GATE_LOCKS`` — are exempt from E205: they
+serialize whole operations by design).  E206 is the completeness
+meta-check: every raw ``threading.Lock()``/``RLock()`` assignment and
+every ``OrderedLock("name")`` literal in an engine module must have a
+declared level.
 """
 
 from __future__ import annotations
@@ -18,114 +29,33 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.lockorder import (
+    DATA_PLANE_MAX_LEVEL as _DATA_PLANE_MAX_LEVEL,
+    LOCK_LEVELS,
+    MODULE_LOCK_LEVELS,
+    lock_level as _declared_level,
+)
+from repro.lint.callgraph import (
+    CallGraph,
+    classify_blocking,
+    format_lock as _fmt,
+    is_admission_gate,
+    lock_key as _lock_key,
+    lock_level as _lock_level,
+)
 from repro.lint.model import LintFinding, dotted_name
 from repro.lint.rules import RULES
 
 __all__ = ["analyze_concurrency", "LOCK_LEVELS", "MODULE_LOCK_LEVELS", "is_engine_module"]
 
-#: Declared lock order, outer (low level) -> inner (high level), keyed by
-#: ``(class name, attribute)``.  Same-level locks must never nest.
-LOCK_LEVELS: Dict[Tuple[str, str], int] = {
-    ("ReproServer", "_engine_lock"): 10,
-    ("Context", "_lock"): 20,
-    ("SerialExecutor", "_lock"): 30,
-    ("ThreadExecutor", "_lock"): 30,
-    ("ProcessExecutor", "_lock"): 30,
-    ("ShuffleManager", "_lock"): 40,
-    ("BlockStore", "_lock"): 50,
-    ("AccumulatorRegistry", "_lock"): 60,
-    ("Accumulator", "_lock"): 60,
-    ("MetricsRegistry", "_lock"): 70,
-    ("EventBus", "_lock"): 80,
-    # Leaf locks: never held across engine calls.
-    ("RecordingListener", "_lock"): 90,
-    ("ResultCache", "_lock"): 90,
-    ("SessionRegistry", "_lock"): 90,
-    ("ServeMetricsListener", "_lock"): 90,
-    ("LatencyHistogram", "_lock"): 90,
-    ("FlightRecorder", "_lock"): 90,
-}
-
-#: Module-level lock names (id counters and the stage-id lock are leaves).
-MODULE_LOCK_LEVELS: Dict[str, int] = {
-    "_stage_lock": 90,
-    "_ids_lock": 90,
-}
-
-#: Held-lock levels at or above the data plane: blocking under these is E202.
-_DATA_PLANE_MAX_LEVEL = 50
-
-#: Call names (dotted tails) that block the calling thread.
-_BLOCKING_SIMPLE = frozenset({"sleep", "recv", "recv_bytes", "acquire", "result",
-                              "wait", "wait_for", "shutdown"})
-
 
 def is_engine_module(filename: str) -> bool:
     path = filename.replace("\\", "/")
-    return "repro/engine/" in path or "repro/serve/" in path
-
-
-#: Conventional owner names -> lock-owning class, for resolving
-#: ``self._ctx._lock`` / ``bus._lock`` style cross-object acquisitions.
-_OWNER_NAME_CLASSES: Dict[str, str] = {
-    "ctx": "Context", "_ctx": "Context", "context": "Context",
-    "bus": "EventBus", "_bus": "EventBus", "event_bus": "EventBus",
-    "store": "BlockStore", "_store": "BlockStore",
-    "block_store": "BlockStore", "blockstore": "BlockStore", "_blockstore": "BlockStore",
-    "shuffle": "ShuffleManager", "_shuffle": "ShuffleManager",
-    "shuffle_manager": "ShuffleManager", "manager": "ShuffleManager",
-    "server": "ReproServer", "_server": "ReproServer",
-    "executor": "ThreadExecutor", "_executor": "ThreadExecutor",
-    "pool": "ThreadExecutor", "_pool": "ThreadExecutor",
-    "recorder": "FlightRecorder", "_recorder": "FlightRecorder",
-    "scheduler": "Scheduler", "_scheduler": "Scheduler",
-}
-
-#: Lock attributes that name their owner unambiguously (``_engine_lock``
-#: only exists on ReproServer), usable without knowing the owner object.
-_UNIQUE_ATTR_CLASSES: Dict[str, str] = {}
-for (_cls, _attr) in LOCK_LEVELS:
-    _UNIQUE_ATTR_CLASSES[_attr] = None if _attr in _UNIQUE_ATTR_CLASSES else _cls
-_UNIQUE_ATTR_CLASSES = {a: c for a, c in _UNIQUE_ATTR_CLASSES.items() if c}
-
-
-def _owner_class(owner: ast.AST) -> Optional[str]:
-    """Class owning ``<owner>._lock``, from conventional naming."""
-    name = None
-    if isinstance(owner, ast.Name):
-        name = owner.id
-    elif isinstance(owner, ast.Attribute):
-        name = owner.attr
-    return _OWNER_NAME_CLASSES.get(name) if name else None
-
-
-def _lock_key(expr: ast.AST, class_name: Optional[str],
-              aliases: Dict[str, Tuple[Optional[str], str]]) -> Optional[Tuple[Optional[str], str]]:
-    """Resolve a with-item expression to a lock identity, if it looks like one."""
-    if isinstance(expr, ast.Attribute):
-        if "lock" not in expr.attr:
-            return None
-        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
-            return (class_name, expr.attr)
-        owner = _owner_class(expr.value) or _UNIQUE_ATTR_CLASSES.get(expr.attr)
-        return (owner, expr.attr)
-    if isinstance(expr, ast.Name):
-        if expr.id in aliases:
-            return aliases[expr.id]
-        if "lock" in expr.id:
-            return (_UNIQUE_ATTR_CLASSES.get(expr.id), expr.id)
-    return None
-
-
-def _lock_level(key: Tuple[Optional[str], str]) -> Optional[int]:
-    cls, attr = key
-    if cls is not None:
-        return LOCK_LEVELS.get((cls, attr))
-    return MODULE_LOCK_LEVELS.get(attr)
+    return any(part in path for part in ("repro/engine/", "repro/serve/", "repro/obs/"))
 
 
 class _FunctionChecker(ast.NodeVisitor):
-    """E201/E202/E203 over one function body."""
+    """E201/E202/E203 (+ interprocedural E204/E205) over one function body."""
 
     def __init__(self, analyzer: "_ConcurrencyAnalyzer", class_name: Optional[str]) -> None:
         self.analyzer = analyzer
@@ -192,12 +122,14 @@ class _FunctionChecker(ast.NodeVisitor):
                            f"acquiring {_fmt(key)}"),
                 )
 
-    # -- E202 + E203 --------------------------------------------------
+    # -- E202 + E203 + interprocedural E204/E205 ----------------------
     def visit_Call(self, node: ast.Call) -> None:
         name = dotted_name(node.func)
         if name:
-            self._check_blocking(name, node)
+            direct_blocking = self._check_blocking(name, node)
             self._track_post(name, node)
+            if not direct_blocking and self.held and self.analyzer.callgraph is not None:
+                self._check_summary(name, node)
         self.generic_visit(node)
 
     def _innermost_data_plane_lock(self):
@@ -206,27 +138,13 @@ class _FunctionChecker(ast.NodeVisitor):
                 return key, level, line
         return None
 
-    def _check_blocking(self, name: str, node: ast.Call) -> None:
+    def _check_blocking(self, name: str, node: ast.Call) -> bool:
+        blocking = classify_blocking(name)
+        if blocking is None:
+            return False
         held = self._innermost_data_plane_lock()
         if held is None:
-            return
-        parts = name.split(".")
-        leaf = parts[-1]
-        blocking = None
-        if leaf in _BLOCKING_SIMPLE:
-            blocking = f"{name}()"
-        elif leaf == "post" and ("bus" in parts[-2] if len(parts) >= 2 else False):
-            blocking = f"{name}() (event-bus publish runs arbitrary listener code)"
-        elif leaf == "get" and len(parts) >= 2 and any(
-            h in parts[-2] for h in ("queue", "pipe", "conn")
-        ):
-            blocking = f"{name}()"
-        elif leaf == "join" and len(parts) >= 2 and any(
-            h in parts[-2] for h in ("thread", "proc", "worker", "pool")
-        ):
-            blocking = f"{name}()"
-        if blocking is None:
-            return
+            return True  # still a direct blocking call: E205 has nothing to add
         key, level, line = held
         self.analyzer.emit(
             "E202", node,
@@ -235,6 +153,56 @@ class _FunctionChecker(ast.NodeVisitor):
             chain=(f"holding {_fmt(key)} since line {line}", f"call {name}"),
             anchor_lines=(line,),
         )
+        return True
+
+    def _check_summary(self, name: str, node: ast.Call) -> None:
+        """E204/E205: consult the callee's transitive lock summary."""
+        resolved = self.analyzer.callgraph.summary_for_call(
+            self.analyzer.filename, self.class_name, name
+        )
+        if resolved is None:
+            return
+        display, summary = resolved
+
+        # E204: the callee may acquire a lock at or below a held level.
+        for lk, (level, path) in sorted(summary.locks.items()):
+            for held_key, held_level, held_line in self.held:
+                if held_level is None or _fmt(held_key) == lk:
+                    continue  # unknown level / reentrant re-acquisition
+                if level <= held_level:
+                    hops = tuple(f"which calls {hop}" for hop in path)
+                    self.analyzer.emit(
+                        "E204", node,
+                        f"call to {display}() may acquire {lk} (level {level}) "
+                        f"while holding {_fmt(held_key)} (level {held_level}, "
+                        f"line {held_line}) — transitive acquisition violates "
+                        "the declared order",
+                        chain=(f"holding {_fmt(held_key)} since line {held_line}",
+                               f"call {display}", *hops,
+                               f"acquires {lk} (level {level})"),
+                        anchor_lines=(held_line,),
+                    )
+                    break  # one finding per (call, lock) is enough
+
+        # E205: the callee may block while we hold a data-plane lock.
+        held = self._innermost_data_plane_lock()
+        if held is None:
+            return
+        key, _level, line = held
+        if is_admission_gate(key):
+            return  # gate locks serialize whole operations by design
+        for why, path in sorted(summary.blocking.items()):
+            hops = tuple(f"which calls {hop}" for hop in path)
+            self.analyzer.emit(
+                "E205", node,
+                f"call to {display}() may block in {why} while holding "
+                f"{_fmt(key)} (acquired line {line}) — stalls every task "
+                "on the data plane and risks deadlock",
+                chain=(f"holding {_fmt(key)} since line {line}",
+                       f"call {display}", *hops, f"blocks in {why}"),
+                anchor_lines=(line,),
+            )
+            break  # one finding per call site
 
     def _track_post(self, name: str, node: ast.Call) -> None:
         parts = name.split(".")
@@ -274,14 +242,14 @@ class _FunctionChecker(ast.NodeVisitor):
         pass  # lambdas with lock acquisition don't exist; skip
 
 
-def _fmt(key: Tuple[Optional[str], str]) -> str:
-    cls, attr = key
-    return f"{cls}.{attr}" if cls else attr
+#: Raw lock constructors E206 demands a declared level for.
+_RAW_LOCK_CALLS = frozenset({"threading.Lock", "threading.RLock"})
 
 
 class _ConcurrencyAnalyzer:
-    def __init__(self, filename: str) -> None:
+    def __init__(self, filename: str, callgraph: Optional[CallGraph] = None) -> None:
         self.filename = filename
+        self.callgraph = callgraph
         self.findings: List[LintFinding] = []
 
     def emit(self, rule: str, node: ast.AST, message: str,
@@ -306,6 +274,7 @@ class _ConcurrencyAnalyzer:
 
     def run(self, tree: ast.Module) -> None:
         self._walk(tree.body, class_name=None)
+        self._scan_undeclared_locks(tree)
 
     def _walk(self, body, class_name: Optional[str]) -> None:
         for node in body:
@@ -314,9 +283,63 @@ class _ConcurrencyAnalyzer:
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self.check_function(node, class_name)
 
+    # -- E206: lock-registry completeness -----------------------------
+    def _scan_undeclared_locks(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        self._check_lock_assign(sub, node.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._check_lock_assign(node, None)
 
-def analyze_concurrency(tree: ast.Module, filename: str) -> List[LintFinding]:
-    """Run the E2xx family over one parsed engine/serve module."""
-    analyzer = _ConcurrencyAnalyzer(filename)
+    def _check_lock_assign(self, node, class_name: Optional[str]) -> None:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        ctor = dotted_name(value.func)
+        if ctor is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if ctor in _RAW_LOCK_CALLS:
+            for target in targets:
+                owner = None
+                if (class_name is not None and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    owner, declared = (class_name, target.attr), (
+                        (class_name, target.attr) in LOCK_LEVELS)
+                elif class_name is None and isinstance(target, ast.Name):
+                    owner, declared = (None, target.id), target.id in MODULE_LOCK_LEVELS
+                if owner is not None and not declared:
+                    self.emit(
+                        "E206", node,
+                        f"{_fmt(owner)} = {ctor}() has no declared level — "
+                        "every engine lock must appear in "
+                        "repro.engine.lockorder and use OrderedLock",
+                    )
+        elif ctor.split(".")[-1] == "OrderedLock":
+            args = value.args
+            if (args and isinstance(args[0], ast.Constant)
+                    and isinstance(args[0].value, str)
+                    and _declared_level(args[0].value) is None):
+                self.emit(
+                    "E206", node,
+                    f"OrderedLock({args[0].value!r}) is not registered in "
+                    "repro.engine.lockorder — it will raise "
+                    "UndeclaredLockError at construction",
+                )
+
+
+def analyze_concurrency(
+    tree: ast.Module, filename: str, callgraph: Optional[CallGraph] = None
+) -> List[LintFinding]:
+    """Run the E2xx family over one parsed engine/serve/obs module.
+
+    With *callgraph* (built over the whole file set, or at least this
+    module), the interprocedural E204/E205 run too; without it only the
+    per-function rules apply.
+    """
+    analyzer = _ConcurrencyAnalyzer(filename, callgraph)
     analyzer.run(tree)
     return analyzer.findings

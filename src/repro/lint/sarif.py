@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest: one ``run`` with the tool's rule catalogue under
+``tool.driver.rules`` and one ``result`` per finding, each carrying a
+``ruleId``, a level, a message and a physical location.  The mapping is
+deliberately lossless where SARIF has a slot for it:
+
+* the finding's ``chain`` (the ``via ...`` hops of the text format) is
+  appended to the message, since most viewers only render ``message.text``;
+* the fix hint lands in the same place, prefixed ``fix:``;
+* ``X001`` (file skipped) maps to level ``error``; every real rule maps
+  to ``warning`` — lint findings gate CI through exit codes, not through
+  SARIF severities.
+
+Only stdlib ``json``; the shape follows the published 2.1.0 schema
+(``$schema`` pinned below) closely enough for GitHub code scanning and
+``sarif-tools`` to consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.model import LintFinding
+from repro.lint.rules import RULES
+
+__all__ = ["format_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool identity reported in every run.
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "help": {"text": f"Fix hint: {rule.hint}\n\nBad:\n{rule.bad}\n\nGood:\n{rule.good}"},
+        "defaultConfiguration": {
+            "level": "error" if rule.id.startswith("X") else "warning",
+        },
+    }
+
+
+def _result(finding: LintFinding, rule_index: int) -> dict:
+    text = finding.message
+    if finding.chain:
+        text += "".join(f"\nvia {hop}" for hop in finding.chain)
+    if finding.hint:
+        text += f"\nfix: {finding.hint}"
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index,
+        "level": "error" if finding.rule.startswith("X") else "warning",
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.file.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; LintFinding's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def format_sarif(findings: Sequence[LintFinding], files_checked: int) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run)."""
+    rule_ids: List[str] = sorted({f.rule for f in findings} | set(RULES))
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": [_rule_descriptor(rid) for rid in rule_ids],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(f, rule_index[f.rule]) for f in findings],
+                "properties": {"filesChecked": files_checked},
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

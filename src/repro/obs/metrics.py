@@ -43,6 +43,7 @@ from repro.engine.listener import (
     ShuffleWrite,
     TaskRetry,
 )
+from repro.engine.lockorder import OrderedLock
 from repro.engine.tracing import current_trace_id
 
 __all__ = [
@@ -313,7 +314,9 @@ class MetricsHub:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        # Reentrant and shared with every family/instrument the hub owns:
+        # one hierarchy entry (level 85) covers the whole instrument tree.
+        self._lock = OrderedLock("MetricsHub._lock", reentrant=True)
         self._families: Dict[str, _Family] = {}
 
     def _declare(
@@ -649,7 +652,7 @@ class HubMetricsListener(EngineListener):
 
 
 _DEFAULT_HUB: Optional[MetricsHub] = None
-_DEFAULT_HUB_LOCK = threading.Lock()
+_DEFAULT_HUB_LOCK = OrderedLock("_DEFAULT_HUB_LOCK")
 
 
 def default_hub() -> MetricsHub:

@@ -39,6 +39,8 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.engine.lockorder import OrderedLock
+
 __all__ = [
     "Sampler",
     "current_sampler",
@@ -78,7 +80,7 @@ class Sampler:
         self.hz = float(hz)
         self._interval = 1.0 / self.hz
         self._folded: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("Sampler._lock")
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._ticks = 0

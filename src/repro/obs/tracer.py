@@ -39,6 +39,7 @@ from repro.engine.listener import (
     TaskEnd,
     TaskRetry,
 )
+from repro.engine.lockorder import OrderedLock
 from repro.engine.tracing import EPOCH_OFFSET, phase_scope, reset_phase, set_phase
 
 __all__ = [
@@ -129,7 +130,7 @@ class Tracer(EngineListener):
     """Collects phase spans, per-stage telemetry and engine attribution."""
 
     def __init__(self, keep_spans: int = 100_000) -> None:
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("Tracer._lock")
         self._tls = threading.local()  # driver-thread span stack
         self._keep_spans = keep_spans
         self.spans: List[PhaseSpan] = []

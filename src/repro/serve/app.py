@@ -52,13 +52,13 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextvars
-import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.engine.config import EngineConfig
 from repro.engine.context import Context
+from repro.engine.lockorder import OrderedLock
 from repro.engine.tracing import trace_scope
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
@@ -177,7 +177,7 @@ class ReproServer:
         # Conservative: distributed-lattice jobs share one Context, so
         # engine-touching thunks serialize here while the serial-path
         # calculator replications run concurrently on the pool.
-        self._engine_lock = threading.Lock()
+        self._engine_lock = OrderedLock("ReproServer._engine_lock")
         self._inflight = 0
         self._started = time.monotonic()
         self._http = HttpServer(self.handle, self.config.host, self.config.port)

@@ -11,9 +11,10 @@ executor threads populate it.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
+
+from repro.engine.lockorder import OrderedLock
 
 __all__ = ["ResultCache"]
 
@@ -26,7 +27,7 @@ class ResultCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("ResultCache._lock")
         self.hits = 0
         self.misses = 0
         self.evictions = 0

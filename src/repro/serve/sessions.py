@@ -20,11 +20,11 @@ bounding/TTL/locking discipline.
 from __future__ import annotations
 
 import asyncio
-import threading
 import time
 import uuid
 from typing import Any, Dict, List, Optional
 
+from repro.engine.lockorder import OrderedLock
 from repro.sbgt.session import SBGTSession
 from repro.sbgt.stepper import ScreenStepper
 from repro.serve.protocol import SessionCreateRequest, SurveilRequest
@@ -115,7 +115,7 @@ class SessionRegistry:
         self.max_sessions = max_sessions
         self.ttl_s = float(ttl_s)
         self._sessions: Dict[str, ServeSession] = {}
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("SessionRegistry._lock")
         self.created = 0
         self.expired = 0
         self.closed = 0
@@ -239,7 +239,7 @@ class CampaignRegistry:
         self.max_campaigns = max_campaigns
         self.ttl_s = float(ttl_s)
         self._campaigns: Dict[str, CampaignSession] = {}
-        self._lock = threading.Lock()
+        self._lock = OrderedLock("CampaignRegistry._lock")
         self.created = 0
         self.expired = 0
         self.closed = 0

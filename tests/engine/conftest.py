@@ -1,0 +1,22 @@
+"""Engine suite runs with the lock-order sanitizer in ``raise`` mode.
+
+Every test in this directory exercises the real locks, so an
+out-of-order acquisition fails the offending test at the acquisition
+site instead of deadlocking some later run.  The previous mode is
+restored afterwards so the setting cannot leak into other suites.
+"""
+
+import pytest
+
+from repro.engine import lockorder
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_raise():
+    previous = lockorder.set_sanitizer_mode("raise")
+    lockorder.clear_violations()
+    try:
+        yield
+    finally:
+        lockorder.set_sanitizer_mode(previous)
+        lockorder.clear_violations()

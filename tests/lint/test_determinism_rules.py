@@ -1,0 +1,128 @@
+"""D3xx determinism rules over the statistical core."""
+
+from __future__ import annotations
+
+from repro.lint import analyze_source
+from repro.lint.determinism_rules import is_determinism_module
+
+SBGT = "src/repro/sbgt/demo.py"
+
+
+def lint(src: str, filename: str = SBGT):
+    return analyze_source(src, filename=filename)
+
+
+def rules(src: str, filename: str = SBGT):
+    return [f.rule for f in lint(src, filename)]
+
+
+class TestScope:
+    def test_statistical_packages_are_in_scope(self):
+        for pkg in ("sbgt", "surveil", "simulate", "bayes", "lattice"):
+            assert is_determinism_module(f"src/repro/{pkg}/mod.py"), pkg
+
+    def test_engine_and_user_code_are_not(self):
+        assert not is_determinism_module("src/repro/engine/context.py")
+        assert not is_determinism_module("examples/demo.py")
+
+    def test_rules_silent_outside_scope(self):
+        src = "import numpy as np\ngen = np.random.default_rng()\n"
+        assert analyze_source(src, filename="src/repro/obs/demo.py") == []
+
+    def test_force_determinism_overrides_path(self):
+        src = "import numpy as np\ngen = np.random.default_rng()\n"
+        findings = analyze_source(
+            src, filename="anywhere.py", force_determinism=True
+        )
+        assert [f.rule for f in findings] == ["D301"]
+
+
+class TestD301:
+    def test_unseeded_default_rng(self):
+        assert rules("import numpy as np\ngen = np.random.default_rng()\n") == ["D301"]
+
+    def test_seeded_default_rng_clean(self):
+        assert rules("import numpy as np\ngen = np.random.default_rng(42)\n") == []
+        assert rules(
+            "import numpy as np\ngen = np.random.default_rng(seed=7)\n"
+        ) == []
+
+    def test_legacy_numpy_global_state(self):
+        assert rules("import numpy as np\nx = np.random.normal(size=3)\n") == ["D301"]
+
+    def test_stdlib_random_module(self):
+        assert rules("import random\nx = random.random()\n") == ["D301"]
+
+    def test_unseeded_random_instance(self):
+        assert rules("import random\nr = random.Random()\n") == ["D301"]
+        assert rules("import random\nr = random.Random(3)\n") == []
+
+    def test_generator_method_calls_clean(self):
+        # rng.normal() on a passed-in Generator is the sanctioned pattern.
+        src = """
+def draw(rng, n):
+    return rng.normal(size=n)
+"""
+        assert rules(src) == []
+
+
+class TestD302:
+    def test_for_over_set_literal(self):
+        assert rules("for x in {1, 2, 3}:\n    pass\n") == ["D302"]
+
+    def test_comprehension_over_set_call(self):
+        assert rules("xs = [x for x in set([3, 1])]\n") == ["D302"]
+
+    def test_set_comprehension_iteration(self):
+        assert rules("for x in {p for p in [1, 2]}:\n    pass\n") == ["D302"]
+
+    def test_sorted_wrap_is_clean(self):
+        assert rules("for x in sorted({1, 2, 3}):\n    pass\n") == []
+
+    def test_list_iteration_clean(self):
+        assert rules("for x in [1, 2, 3]:\n    pass\n") == []
+
+
+class TestD303:
+    def test_time_time(self):
+        assert rules("import time\nt = time.time()\n") == ["D303"]
+
+    def test_datetime_now(self):
+        assert rules(
+            "import datetime\nt = datetime.datetime.now()\n"
+        ) == ["D303"]
+
+    def test_perf_counter_is_fine(self):
+        assert rules("import time\nt = time.perf_counter()\n") == []
+        assert rules("import time\nt = time.monotonic()\n") == []
+
+
+class TestD304:
+    def test_subscript_key(self):
+        assert rules("d = {}\nd[id(object())] = 1\n") == ["D304"]
+
+    def test_dict_literal_key(self):
+        assert rules("x = object()\nd = {id(x): 1}\n") == ["D304"]
+
+    def test_dict_comprehension_key(self):
+        assert rules("d = {id(x): x for x in [1]}\n") == ["D304"]
+
+    def test_sort_key(self):
+        assert rules("xs = sorted([object()], key=id)\n") == ["D304"]
+
+    def test_plain_id_call_clean(self):
+        assert rules("x = id(object())\n") == []
+
+
+class TestD305:
+    def test_builtin_hash(self):
+        assert rules('h = hash("site")\n') == ["D305"]
+
+    def test_method_hash_clean(self):
+        assert rules("h = obj.hash()\n") == []
+
+
+class TestSuppression:
+    def test_inline_ignore(self):
+        src = "import numpy as np\ngen = np.random.default_rng()  # repro: lint-ignore[D301]\n"
+        assert rules(src) == []

@@ -24,6 +24,62 @@ class TestSuppressionDirectives:
         assert analyze_source(src) == []
 
 
+class TestAnchoredSuppression:
+    """Findings anchored away from their report line (def/decorator lines)."""
+
+    BODY = (
+        "import threading\n"
+        "lk = threading.Lock()\n"
+        "{decorator}"
+        "def f(x):{trailer}\n"
+        "    return (x, lk)\n"
+        "rdd.map(f).collect()\n"
+    )
+
+    def test_capture_finding_fires_without_ignore(self):
+        src = self.BODY.format(decorator="", trailer="")
+        (finding,) = analyze_source(src)
+        assert finding.rule == "C102"
+        assert finding.line == 4  # reported at the use site in the body
+
+    def test_def_line_ignore_covers_body_capture(self):
+        src = self.BODY.format(
+            decorator="", trailer="  # repro: lint-ignore[C102]"
+        )
+        assert analyze_source(src) == []
+
+    def test_decorator_line_ignore_covers_body_capture(self):
+        src = self.BODY.format(
+            decorator="@functools.cache  # repro: lint-ignore[C102]\n",
+            trailer="",
+        )
+        assert analyze_source(src) == []
+
+    def test_decorated_def_line_ignore_still_works(self):
+        src = self.BODY.format(
+            decorator="@functools.cache\n",
+            trailer="  # repro: lint-ignore[C102]",
+        )
+        assert analyze_source(src) == []
+
+    def test_wrong_rule_on_def_line_does_not_suppress(self):
+        src = self.BODY.format(
+            decorator="", trailer="  # repro: lint-ignore[C101]"
+        )
+        assert [f.rule for f in analyze_source(src)] == ["C102"]
+
+    def test_comma_list_covers_mixed_rules_on_one_line(self):
+        src = (
+            "import threading\n"
+            "import random\n"
+            "lk = threading.Lock()\n"
+            "def f(x):\n"
+            "    return (x, lk, random.random())  # repro: lint-ignore[C102, C104]\n"
+            "rdd.map(f).collect()\n"
+        )
+        assert analyze_source(src) == []
+
+
 class TestSelectIgnore:
     SRC = (
         "import random\n"

@@ -1,0 +1,22 @@
+"""Serve suite runs with the lock-order sanitizer in ``raise`` mode.
+
+Same contract as tests/engine/conftest.py: the server's admission gate,
+session registries and result cache all use OrderedLock, so any
+inversion introduced in serve code fails loudly here rather than
+deadlocking a saturated server.
+"""
+
+import pytest
+
+from repro.engine import lockorder
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_raise():
+    previous = lockorder.set_sanitizer_mode("raise")
+    lockorder.clear_violations()
+    try:
+        yield
+    finally:
+        lockorder.set_sanitizer_mode(previous)
+        lockorder.clear_violations()
